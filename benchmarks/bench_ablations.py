@@ -1,0 +1,113 @@
+"""Ablations of the design choices DESIGN.md section 5 calls out.
+
+Each ablation flips one of VOLAP's design decisions and measures the
+query work (items scanned) or traversal cost it was protecting:
+
+* least-overlap insertion (paper III-C: "the high global cost of
+  overlap dominates the cost of performing overlap calculations");
+* the Fig. 3 hierarchical-ID expansion before Hilbert mapping;
+* the linear least-overlap split-position scan (paper III-D);
+* cached per-node aggregates (the source of coverage resilience).
+"""
+
+from repro.bench import (
+    render_table,
+    run_cached_aggregates_ablation,
+    run_id_expansion_ablation,
+    run_insert_policy_ablation,
+    run_split_ablation,
+)
+
+from conftest import run_once
+
+
+def test_ablation_insert_policy(benchmark):
+    out = run_once(benchmark, run_insert_policy_ablation)
+    print()
+    print(
+        render_table(
+            "Ablation: PDC insert policy (avg items scanned / query)",
+            ["policy", "scanned"],
+            [(k, round(v, 1)) for k, v in out.items()],
+        )
+    )
+    # least-overlap must not be worse than least-enlargement by much;
+    # the paper chose it because overlap dominates global cost.
+    assert out["least_overlap"] <= out["least_enlargement"] * 1.25
+
+
+def test_ablation_id_expansion(benchmark):
+    out = run_once(benchmark, run_id_expansion_ablation)
+    print()
+    print(
+        render_table(
+            "Ablation: Fig. 3 ID expansion (avg items scanned / query)",
+            ["mapping", "scanned"],
+            [(k, round(v, 1)) for k, v in out.items()],
+        )
+    )
+    # expanded ids preserve locality for narrow dimensions on a
+    # heterogeneous schema; raw ids must not be better.
+    assert out["expanded"] <= out["raw"] * 1.1
+
+
+def test_ablation_split_policy(benchmark):
+    out = run_once(benchmark, run_split_ablation)
+    print()
+    print(
+        render_table(
+            "Ablation: Hilbert split position (avg items scanned / query)",
+            ["split", "scanned"],
+            [(k, round(v, 1)) for k, v in out.items()],
+        )
+    )
+    # the least-overlap split position should not lose to a blind
+    # middle split (it may tie on easy data).
+    assert out["least_overlap"] <= out["middle"] * 1.15
+
+
+def test_ablation_cached_aggregates(benchmark):
+    out = run_once(benchmark, run_cached_aggregates_ablation)
+    rows = [
+        (label, *[round(v, 1) for v in stats.values()])
+        for label, stats in out.items()
+    ]
+    print()
+    print(
+        render_table(
+            "Ablation: cached aggregates (full-coverage query work)",
+            ["mode", "nodes_visited", "items_scanned", "agg_hits"],
+            rows,
+        )
+    )
+    cached = out["cached"]
+    uncached = out["uncached"]
+    # with the cache, a full-coverage query terminates at the root
+    assert cached["items_scanned"] == 0
+    assert cached["agg_hits"] >= 1
+    # without it, the query degenerates to a full scan of the database
+    assert uncached["items_scanned"] >= 8000
+    assert uncached["nodes_visited"] > 10 * cached["nodes_visited"]
+
+
+def test_ablation_image_key_kind(benchmark):
+    from repro.bench.fig_cluster import run_image_key_ablation
+
+    out = run_once(benchmark, run_image_key_ablation)
+    print()
+    print(
+        render_table(
+            "Ablation: system-image shard key kind (MBR vs MDS)",
+            ["kind", "avg_shards_searched", "total_results"],
+            [
+                (k, round(v["avg_shards_searched"], 2), int(v["total_results"]))
+                for k, v in out.items()
+            ],
+        )
+    )
+    # answers must be identical; MDS keys may only sharpen routing
+    assert out["mbr"]["total_results"] == out["mds"]["total_results"]
+    assert (
+        out["mds"]["avg_shards_searched"]
+        <= out["mbr"]["avg_shards_searched"] * 1.02
+    )

@@ -1,0 +1,80 @@
+"""Paper Figure 10: serialization between sessions on different servers.
+
+Runs the PBS simulation at the paper's insert rate (50k/s) and asserts:
+
+* Fig 10a: the average number of missed inserts starts near
+  ``rate x mean insert latency`` (about 80 in the paper) and drops to
+  (close to) zero by 0.25 s elapsed time;
+* Fig 10b: P(k missed inserts) decreases with elapsed time and with k;
+* consistency is always reached within the 3 s sync period (the paper:
+  "consistency ... was always observed in under 3 seconds");
+* sync-period ablation: freshness time scales with the sync period.
+"""
+
+import numpy as np
+
+from repro.bench import render_series, render_table, run_fig10, run_sync_period_ablation
+
+from conftest import run_once
+
+
+def test_fig10_freshness(benchmark):
+    result = run_once(benchmark, run_fig10, insert_rate=50_000.0, trials=120)
+
+    series = {}
+    for cov, res in sorted(result.curves.items()):
+        series[f"coverage {cov:.0%}"] = [
+            (float(e), round(float(m), 2))
+            for e, m in zip(res.elapsed, res.mean_missed)
+        ]
+    print()
+    print(render_series("Fig 10a: avg missed inserts vs elapsed time (s)", series))
+
+    rows = []
+    for (cov, e), pmf in sorted(result.pmfs.items()):
+        rows.append(
+            (f"{cov:.0%}", e, *[round(float(p), 4) for p in pmf])
+        )
+    print(
+        render_table(
+            "Fig 10b: P(k missed inserts) after elapsed time",
+            ["coverage", "elapsed_s", "P(1)", "P(2)", "P(3)", "P(4)"],
+            rows,
+        )
+    )
+
+    full = result.curves[1.0]
+    # near-zero elapsed time: ~ rate x mean latency missed inserts
+    assert full.mean_missed[0] > 20
+    # drops to close to zero by 0.25 s (paper Fig 10a)
+    at_025 = float(full.mean_missed[np.argmin(np.abs(full.elapsed - 0.25))])
+    assert at_025 < 2.0
+    # monotone-ish decay: tail below a hundredth of the initial value
+    assert full.mean_missed[-1] <= full.mean_missed[0] / 100
+    # exact consistency by the sync period (3 s)
+    assert float(full.mean_missed[np.argmin(np.abs(full.elapsed - 3.0))]) == 0.0
+    # coverage scales the miss count down
+    assert result.curves[0.25].mean_missed[0] < full.mean_missed[0]
+    # Fig 10b: probabilities decrease with elapsed time
+    for cov in (0.25, 1.0):
+        early = result.pmfs[(cov, 0.25)].sum()
+        late = result.pmfs[(cov, 2.0)].sum()
+        assert late <= early + 1e-9
+
+
+def test_sync_period_ablation(benchmark):
+    out = run_once(benchmark, run_sync_period_ablation)
+    rows = [(p, round(t, 2)) for p, t in sorted(out.items())]
+    print()
+    print(
+        render_table(
+            "Ablation: sync period vs time-to-fresh (s)",
+            ["sync_period_s", "time_to_fresh_s"],
+            rows,
+        )
+    )
+    periods = sorted(out)
+    # freshness time grows with the sync period and stays bounded by it
+    assert out[periods[0]] <= out[periods[-1]]
+    for p, t in out.items():
+        assert t <= p + 0.5

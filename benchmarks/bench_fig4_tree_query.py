@@ -1,0 +1,48 @@
+"""Paper Figure 4: Hilbert PDC tree vs PDC tree query time by coverage.
+
+Regenerates the six series (two trees x three coverage bands) over a
+size sweep and asserts the paper's claims:
+
+* the Hilbert PDC tree out-performs the PDC tree at low and medium
+  coverage (Section IV-A: Hilbert ordering produces less overlap at
+  lower tree levels);
+* "for the TPC-DS data set ... the Hilbert PDC tree out-performs the
+  PDC tree in all cases" -- checked as at-least-as-fast within noise.
+"""
+
+from repro.bench import render_series, run_fig4
+
+from conftest import run_once
+
+SIZES = (10_000, 20_000, 40_000)
+
+
+def test_fig4_tree_query(benchmark):
+    result = run_once(benchmark, run_fig4, sizes=SIZES)
+    series = {
+        name: [(n, round(t * 1000, 3)) for n, t in pts]
+        for name, pts in result.series.items()
+    }
+    print()
+    print(
+        render_series(
+            "Fig 4: query time (ms) vs tree size, Hilbert PDC vs PDC", series
+        )
+    )
+
+    # Shape: Hilbert PDC faster at low and medium coverage.
+    for bin_name in ("low", "medium"):
+        h = result.avg("hilbert_pdc", bin_name)
+        p = result.avg("pdc", bin_name)
+        assert h < p, (
+            f"Hilbert PDC should beat PDC at {bin_name} coverage: {h} vs {p}"
+        )
+    # Shape: Hilbert PDC never much slower anywhere (paper: wins in all
+    # cases on TPC-DS; allow 20% noise margin at high coverage).
+    h = result.avg("hilbert_pdc", "high")
+    p = result.avg("pdc", "high")
+    assert h < p * 1.2, f"Hilbert PDC high coverage regressed: {h} vs {p}"
+    # Query time grows with tree size for medium coverage (both trees).
+    for tree in ("hilbert_pdc", "pdc"):
+        pts = result.series[f"{tree} medium"]
+        assert pts[-1][1] > pts[0][1] * 0.8

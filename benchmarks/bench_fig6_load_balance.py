@@ -1,0 +1,66 @@
+"""Paper Figure 6: real-time load balancing during elastic scale-up.
+
+Two empty workers join at each load phase; the min/max items-per-worker
+band must close as the balancer migrates shards to them, with the
+cumulative migration counter stepping up at each phase.
+"""
+
+from repro.bench import render_series, run_fig6_fig7
+
+from conftest import run_once
+
+PARAMS = dict(
+    start_workers=4,
+    end_workers=12,
+    step=2,
+    items_per_worker=5000,
+    bench_inserts=300,
+    bench_queries_per_bin=45,
+)
+
+
+def _get_result(benchmark, shared_cache):
+    key = ("fig6_fig7", tuple(sorted(PARAMS.items())))
+    if key not in shared_cache:
+        shared_cache[key] = run_once(benchmark, run_fig6_fig7, **PARAMS)
+    else:
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    return shared_cache[key]
+
+
+def test_fig6_load_balance(benchmark, shared_cache):
+    result = _get_result(benchmark, shared_cache)
+    series = {
+        "worker size band + migrations": [
+            (round(t, 1), lo, hi, mig)
+            for t, lo, hi, mig in result.balance_series[::4]
+        ]
+    }
+    print()
+    print(
+        render_series(
+            "Fig 6: (time s, min items/worker, max items/worker, "
+            "cumulative migrations)",
+            series,
+        )
+    )
+    print(f"splits={result.splits} migrations={result.migrations}")
+
+    assert result.migrations > 0, "scale-up must trigger migrations"
+    rows = result.balance_series
+    # When new workers join, the min drops to zero...
+    assert any(lo == 0 for _, lo, hi, _ in rows)
+    # ...and load balancing closes the band again: after the final
+    # rebalance the gap is far smaller than the peak gap.
+    final_t = rows[-1][0]
+    peak_gap = max(hi - lo for _, lo, hi, _ in rows)
+    tail = [r for r in rows if r[0] >= final_t - 5.0]
+    tail_gap = min(hi - lo for _, lo, hi, _ in tail)
+    assert tail_gap < peak_gap / 2, (
+        f"balancer failed to close the band: tail gap {tail_gap}, "
+        f"peak gap {peak_gap}"
+    )
+    # The migration counter is non-decreasing and steps past each phase.
+    migs = [m for *_, m in rows]
+    assert migs == sorted(migs)
+    assert migs[-1] == result.migrations

@@ -1,0 +1,76 @@
+"""Paper Figure 7: insert/query throughput and latency during scale-up.
+
+Same experiment as Figure 6 (shared via the session cache), viewed as
+performance per system size: with the database and worker count growing
+together (N ~ p x items_per_worker), insert throughput must stay nearly
+flat and query throughput must not collapse, with sub-second latency
+throughout -- the paper's horizontal-scalability claim.
+"""
+
+import numpy as np
+
+from repro.bench import render_table
+
+from conftest import run_once
+from bench_fig6_load_balance import PARAMS, _get_result
+
+
+def test_fig7_scaleup(benchmark, shared_cache):
+    result = _get_result(benchmark, shared_cache)
+    rows = []
+    for ph in result.phases:
+        rows.append(
+            (
+                ph.workers,
+                ph.total_items,
+                round(ph.insert_throughput),
+                round(ph.insert_latency * 1000, 2),
+                round(ph.query_throughput["low"]),
+                round(ph.query_throughput["medium"]),
+                round(ph.query_throughput["high"]),
+                round(ph.query_latency["low"] * 1000, 2),
+                round(ph.query_latency["medium"] * 1000, 2),
+                round(ph.query_latency["high"] * 1000, 2),
+            )
+        )
+    print()
+    print(
+        render_table(
+            "Fig 7: throughput (ops/s) and latency (ms) vs system size",
+            [
+                "p",
+                "N",
+                "ins/s",
+                "ins_ms",
+                "q_low/s",
+                "q_med/s",
+                "q_high/s",
+                "lat_low",
+                "lat_med",
+                "lat_high",
+            ],
+            rows,
+        )
+    )
+
+    phases = result.phases
+    # Insert throughput nearly flat: every phase within 35% of the mean.
+    ins = np.array([p.insert_throughput for p in phases])
+    assert (np.abs(ins - ins.mean()) < 0.35 * ins.mean()).all(), ins
+    # Query throughput may decline gently but must not collapse: the
+    # largest system retains >= 1/3 of the smallest system's rate.
+    for band in ("low", "medium", "high"):
+        q = [p.query_throughput[band] for p in phases]
+        assert q[-1] > q[0] / 3, (band, q)
+    # Sub-second latencies across the whole sweep (paper: "sub-second
+    # aggregate queries for very large databases").
+    for p in phases:
+        assert p.insert_latency < 1.0
+        for band in ("low", "medium", "high"):
+            assert p.query_latency[band] < 1.0
+    # Inserts are faster than aggregate queries (paper Section IV-D:
+    # insertion approximately three times faster than querying).
+    mean_q = np.mean(
+        [p.query_throughput[b] for p in phases for b in ("medium", "high")]
+    )
+    assert ins.mean() > 1.5 * mean_q

@@ -1,0 +1,74 @@
+"""Paper Figure 8: performance across workload mixes and query coverage.
+
+Fixed-size database, p workers, workload mixes from 0% to 100% inserts
+crossed with low/medium/high coverage queries.  Asserted shapes:
+
+* total throughput rises with the insert percentage (inserts are
+  roughly 3x cheaper than aggregate queries -- "a predictable linear
+  relationship between workload mix and overall performance");
+* "coverage resilience": query latency is nearly identical across
+  coverage bands (within a small factor), because cached aggregates
+  keep large aggregations from scanning the database.
+"""
+
+import numpy as np
+
+from repro.bench import render_table, run_fig8
+
+from conftest import run_once
+
+MIXES = (0, 25, 50, 75, 100)
+
+
+def test_fig8_workload_mix(benchmark):
+    cells = run_once(
+        benchmark,
+        run_fig8,
+        workers=8,
+        items_per_worker=5000,
+        mixes=MIXES,
+        ops_per_cell=400,
+    )
+    rows = [
+        (
+            c.insert_pct,
+            c.coverage,
+            round(c.total_throughput),
+            round(c.query_throughput),
+            round(c.query_latency * 1000, 2) if c.query_throughput else "-",
+            round(c.insert_throughput) if c.insert_throughput else "-",
+        )
+        for c in cells
+    ]
+    print()
+    print(
+        render_table(
+            "Fig 8: workload mix x coverage (throughput ops/s, latency ms)",
+            ["mix%", "coverage", "total/s", "query/s", "q_lat_ms", "ins/s"],
+            rows,
+        )
+    )
+
+    by = {(c.insert_pct, c.coverage): c for c in cells}
+    # Throughput increases with insert percentage for each coverage band.
+    for band in ("low", "medium", "high"):
+        t0 = by[(0, band)].total_throughput
+        t75 = by[(75, band)].total_throughput
+        assert t75 > t0, (band, t0, t75)
+    # Pure-insert stream is the fastest cell.
+    pure = by[(100, "low")].total_throughput
+    assert pure >= max(c.total_throughput for c in cells) * 0.95
+    # Inserts meaningfully faster than queries (paper: ~3x).
+    q0 = by[(0, "medium")].total_throughput
+    assert pure > 1.5 * q0
+    # Coverage resilience (paper: query performance "nearly identical
+    # regardless of coverage"): cached aggregates make high-coverage
+    # queries cost the same as medium ones instead of growing with the
+    # number of items aggregated (2x the data at >66% vs 33-66%).
+    for mix in (0, 25, 50, 75):
+        med = by[(mix, "medium")].query_latency
+        high = by[(mix, "high")].query_latency
+        assert high < 1.5 * med, (mix, med, high)
+        # low-coverage queries touch fewer shards at this scaled-down
+        # shard count, so they may only be *faster*, never slower
+        assert by[(mix, "low")].query_latency < 1.5 * med

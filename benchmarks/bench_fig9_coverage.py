@@ -1,0 +1,70 @@
+"""Paper Figure 9: effect of query coverage on individual queries.
+
+9(a) query time vs coverage: most queries execute quickly; the slowest
+outliers sit at *low* coverage (deep descents past cached aggregates).
+
+9(b) shards searched vs coverage: approximately linear growth --
+increasing coverage touches more shard bounding boxes -- with the
+mid-coverage outliers the paper attributes to queries crossing many
+shard-partition boundaries.
+"""
+
+import numpy as np
+
+from repro.bench import render_table, run_fig9
+
+from conftest import run_once
+
+
+def test_fig9_coverage(benchmark):
+    points, total_shards = run_once(
+        benchmark, run_fig9, workers=8, items_per_worker=5000, n_queries=300
+    )
+    # bin into coverage deciles for the printed heat-map-style table
+    rows = []
+    for lo in np.arange(0.0, 1.0, 0.1):
+        sel = [p for p in points if lo <= p.coverage < lo + 0.1]
+        if not sel:
+            continue
+        lats = np.array([p.latency for p in sel])
+        shards = np.array([p.shards_searched for p in sel])
+        rows.append(
+            (
+                f"{lo:.0%}-{lo + 0.1:.0%}",
+                len(sel),
+                round(float(np.median(lats) * 1000), 2),
+                round(float(lats.max() * 1000), 2),
+                round(float(shards.mean()), 1),
+                int(shards.max()),
+            )
+        )
+    print()
+    print(
+        render_table(
+            f"Fig 9: coverage vs query time & shards searched "
+            f"(cluster holds {total_shards} shards)",
+            ["coverage", "queries", "med_ms", "max_ms", "avg_shards", "max_shards"],
+            rows,
+        )
+    )
+
+    cov = np.array([p.coverage for p in points])
+    lat = np.array([p.latency for p in points])
+    shards = np.array([p.shards_searched for p in points])
+
+    # 9b shape: shards searched grows ~linearly with coverage.
+    corr = np.corrcoef(cov, shards)[0, 1]
+    assert corr > 0.4, f"shards searched not correlated with coverage: {corr}"
+    hi_band = shards[cov > 0.7].mean()
+    lo_band = shards[cov < 0.3].mean()
+    assert hi_band > lo_band
+
+    # 9a shape: the bulk of queries is fast; the extreme outliers are not
+    # at high coverage (cached aggregates keep big aggregations cheap).
+    p50 = np.percentile(lat, 50)
+    assert np.percentile(lat, 90) < 20 * p50 + 0.05
+    worst = points[int(np.argmax(lat))]
+    assert worst.coverage < 0.9, (
+        "slowest query should not be a near-full-coverage one "
+        f"(cov={worst.coverage})"
+    )

@@ -1,0 +1,44 @@
+"""Headline numbers (paper Sections I and IV-C) at p = 20 workers.
+
+The paper reports, on 20 c3.4xlarge workers with N = 1 billion items:
+bulk ingestion > 400k items/s, and mixed streams of ~50k inserts/s plus
+~20k aggregate queries/s.  The simulated cluster is scaled down in N
+(DESIGN.md section 6) with service constants calibrated to land in the
+same regime; the asserted *shape* is the ratio structure: bulk much
+faster than point insertion, point insertion faster than querying.
+"""
+
+from repro.bench import render_table, run_headline
+
+from conftest import run_once
+
+
+def test_headline_throughput(benchmark):
+    res = run_once(benchmark, run_headline, workers=20, items_per_worker=5000)
+    print()
+    print(
+        render_table(
+            "Headline throughput at p=20 (virtual-time rates)",
+            ["metric", "value"],
+            [
+                ("workers", res.workers),
+                ("total items", res.total_items),
+                ("bulk ingest items/s", round(res.bulk_rate)),
+                ("point inserts/s", round(res.point_insert_rate)),
+                ("mixed inserts/s", round(res.mixed_insert_rate)),
+                ("mixed queries/s", round(res.mixed_query_rate)),
+            ],
+        )
+    )
+
+    # Bulk ingestion several times faster than point insertion
+    # (paper: >400k/s vs ~50k/s, an ~8x gap; require >= 3x).
+    assert res.bulk_rate > 3 * res.point_insert_rate
+    # Inserts outpace aggregate queries in the mixed stream (paper: ~50k
+    # inserts + ~20k queries at a 70/30-ish mix).
+    assert res.mixed_insert_rate > res.mixed_query_rate
+    # Order-of-magnitude calibration: tens of thousands of point
+    # inserts/s, and bulk ingestion in the hundreds of thousands.
+    assert res.point_insert_rate > 10_000
+    assert res.bulk_rate > 100_000
+    assert res.mixed_query_rate > 2_000

@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the core operations (statistical timings).
+
+Unlike the figure benches (single-shot experiments), these use
+pytest-benchmark's repeated timing to give stable per-operation numbers
+for the hot paths: Hilbert key computation, point insertion, bulk load,
+and queries at two coverage extremes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HilbertPDCTree, PDCTree
+from repro.hilbert import HilbertKeyMapper
+from repro.olap.query import full_query
+from repro.workloads import QueryGenerator, TPCDSGenerator, tpcds_schema
+
+SCHEMA = tpcds_schema()
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return TPCDSGenerator(SCHEMA, seed=0).batch(10_000)
+
+
+@pytest.fixture(scope="module")
+def loaded_tree(batch):
+    return HilbertPDCTree.from_batch(SCHEMA, batch)
+
+
+def test_hilbert_key_computation(benchmark, batch):
+    mapper = HilbertKeyMapper(SCHEMA)
+    rows = batch.coords[:64]
+    i = [0]
+
+    def one_key():
+        mapper.key(rows[i[0] % 64])
+        i[0] += 1
+
+    benchmark(one_key)
+
+
+def test_point_insert_hilbert_pdc(benchmark, batch):
+    tree = HilbertPDCTree(SCHEMA)
+    i = [0]
+
+    def one_insert():
+        k = i[0] % len(batch)
+        tree.insert(batch.coords[k], float(batch.measures[k]))
+        i[0] += 1
+
+    benchmark(one_insert)
+
+
+def test_point_insert_pdc(benchmark, batch):
+    tree = PDCTree(SCHEMA)
+    i = [0]
+
+    def one_insert():
+        k = i[0] % len(batch)
+        tree.insert(batch.coords[k], float(batch.measures[k]))
+        i[0] += 1
+
+    benchmark(one_insert)
+
+
+def test_bulk_load_10k(benchmark, batch):
+    benchmark.pedantic(
+        lambda: HilbertPDCTree.from_batch(SCHEMA, batch),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_full_coverage_query(benchmark, loaded_tree):
+    box = full_query(SCHEMA).box
+    benchmark(lambda: loaded_tree.query(box))
+
+
+def test_low_coverage_query(benchmark, batch, loaded_tree):
+    qg = QueryGenerator(SCHEMA, batch, seed=1)
+    qs = qg.queries_for_coverage((0.0, 0.1), 8)
+    i = [0]
+
+    def one_query():
+        loaded_tree.query(qs[i[0] % len(qs)].box)
+        i[0] += 1
+
+    benchmark(one_query)

@@ -1,0 +1,30 @@
+"""Shared benchmark infrastructure.
+
+Each ``bench_*.py`` regenerates one of the paper's figures: it runs the
+experiment once under pytest-benchmark, prints the same rows/series the
+figure reports, and asserts the *shape* of the result (who wins, slope
+directions, crossovers) rather than absolute numbers -- the substrate is
+a simulator, not the paper's EC2 testbed (see DESIGN.md and
+EXPERIMENTS.md).
+
+Expensive experiments shared by two figures (the paper's Figs 6 and 7
+are two views of one run) are memoised in ``shared_cache``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_CACHE: dict = {}
+
+
+@pytest.fixture(scope="session")
+def shared_cache():
+    return _CACHE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

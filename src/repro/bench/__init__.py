@@ -1,0 +1,50 @@
+"""Experiment drivers regenerating every figure of the paper."""
+
+from .fig_cluster import (
+    HeadlineResult,
+    MixCell,
+    ScaleUpPhase,
+    ScaleUpResult,
+    run_fig6_fig7,
+    run_fig8,
+    run_image_key_ablation,
+    run_fig9,
+    run_headline,
+)
+from .fig_freshness import Fig10Result, run_fig10, run_sync_period_ablation
+from .fig_tree import (
+    Fig4Result,
+    Fig5Row,
+    run_cached_aggregates_ablation,
+    run_fig4,
+    run_fig5,
+    run_id_expansion_ablation,
+    run_insert_policy_ablation,
+    run_split_ablation,
+)
+from .tables import render_series, render_table
+
+__all__ = [
+    "Fig10Result",
+    "Fig4Result",
+    "Fig5Row",
+    "HeadlineResult",
+    "MixCell",
+    "ScaleUpPhase",
+    "ScaleUpResult",
+    "render_series",
+    "render_table",
+    "run_cached_aggregates_ablation",
+    "run_fig10",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_headline",
+    "run_id_expansion_ablation",
+    "run_image_key_ablation",
+    "run_insert_policy_ablation",
+    "run_split_ablation",
+    "run_sync_period_ablation",
+]

@@ -1,0 +1,267 @@
+"""Command-line figure regeneration: ``python -m repro.bench <target>``.
+
+Targets: fig4 fig5 fig6 fig7 fig8 fig9 fig10 headline ablations all.
+Each prints the corresponding paper figure as rows/series.  The pytest
+targets under ``benchmarks/`` run the same drivers *and* assert the
+result shapes; this CLI is the quick interactive path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    render_series,
+    render_table,
+    run_cached_aggregates_ablation,
+    run_fig10,
+    run_fig4,
+    run_fig5,
+    run_fig6_fig7,
+    run_fig8,
+    run_fig9,
+    run_headline,
+    run_id_expansion_ablation,
+    run_insert_policy_ablation,
+    run_split_ablation,
+    run_sync_period_ablation,
+)
+
+
+def _fig4(quick: bool) -> None:
+    sizes = (5_000, 10_000) if quick else (10_000, 20_000, 40_000)
+    result = run_fig4(sizes=sizes)
+    series = {
+        name: [(n, round(t * 1000, 3)) for n, t in pts]
+        for name, pts in result.series.items()
+    }
+    print(render_series("Fig 4: query time (ms) vs size", series))
+
+
+def _fig5(quick: bool) -> None:
+    dims = (4, 16, 32) if quick else (4, 8, 16, 32, 64)
+    rows = run_fig5(dims=dims, n_items=2000 if quick else 4000)
+    print(
+        render_table(
+            "Fig 5: tree variants vs dimensionality",
+            ["tree", "dims", "insert_us", "query_ms", "nodes/q", "scanned/q"],
+            [
+                (
+                    r.tree,
+                    r.dims,
+                    round(r.insert_latency * 1e6, 1),
+                    round(r.query_latency * 1e3, 2),
+                    round(r.query_nodes, 1),
+                    round(r.query_scanned, 1),
+                )
+                for r in rows
+            ],
+        )
+    )
+
+
+def _fig67(quick: bool) -> None:
+    result = run_fig6_fig7(
+        start_workers=4,
+        end_workers=8 if quick else 12,
+        items_per_worker=3000 if quick else 5000,
+        bench_inserts=200 if quick else 300,
+        bench_queries_per_bin=30 if quick else 45,
+    )
+    print(
+        render_series(
+            "Fig 6: (t, min/worker, max/worker, migrations)",
+            {"balance": result.balance_series[:: 4]},
+        )
+    )
+    print()
+    print(
+        render_table(
+            "Fig 7: throughput/latency vs system size",
+            ["p", "N", "ins/s", "q_low/s", "q_med/s", "q_high/s"],
+            [
+                (
+                    ph.workers,
+                    ph.total_items,
+                    round(ph.insert_throughput),
+                    round(ph.query_throughput["low"]),
+                    round(ph.query_throughput["medium"]),
+                    round(ph.query_throughput["high"]),
+                )
+                for ph in result.phases
+            ],
+        )
+    )
+
+
+def _fig8(quick: bool) -> None:
+    cells = run_fig8(
+        workers=4 if quick else 8,
+        items_per_worker=3000 if quick else 5000,
+        ops_per_cell=200 if quick else 400,
+    )
+    print(
+        render_table(
+            "Fig 8: workload mix x coverage",
+            ["mix%", "coverage", "total/s", "query/s", "q_lat_ms"],
+            [
+                (
+                    c.insert_pct,
+                    c.coverage,
+                    round(c.total_throughput),
+                    round(c.query_throughput),
+                    round(c.query_latency * 1000, 2)
+                    if c.query_throughput
+                    else "-",
+                )
+                for c in cells
+            ],
+        )
+    )
+
+
+def _fig9(quick: bool) -> None:
+    import numpy as np
+
+    points, shards = run_fig9(
+        workers=4 if quick else 8,
+        items_per_worker=3000 if quick else 5000,
+        n_queries=100 if quick else 300,
+    )
+    rows = []
+    for lo in np.arange(0.0, 1.0, 0.2):
+        sel = [p for p in points if lo <= p.coverage < lo + 0.2]
+        if sel:
+            rows.append(
+                (
+                    f"{lo:.0%}-{lo + 0.2:.0%}",
+                    len(sel),
+                    round(float(np.median([p.latency for p in sel]) * 1e3), 2),
+                    round(float(np.mean([p.shards_searched for p in sel])), 1),
+                )
+            )
+    print(
+        render_table(
+            f"Fig 9: coverage vs latency & shards searched ({shards} shards)",
+            ["coverage", "n", "med_ms", "avg_shards"],
+            rows,
+        )
+    )
+
+
+def _fig10(quick: bool) -> None:
+    result = run_fig10(trials=60 if quick else 120)
+    series = {
+        f"coverage {cov:.0%}": [
+            (float(e), round(float(m), 2))
+            for e, m in zip(res.elapsed, res.mean_missed)
+        ]
+        for cov, res in sorted(result.curves.items())
+    }
+    print(render_series("Fig 10a: missed inserts vs elapsed time", series))
+
+
+def _headline(quick: bool) -> None:
+    res = run_headline(
+        workers=8 if quick else 20,
+        items_per_worker=3000 if quick else 5000,
+    )
+    print(
+        render_table(
+            "Headline throughput",
+            ["metric", "value"],
+            [
+                ("bulk items/s", round(res.bulk_rate)),
+                ("point inserts/s", round(res.point_insert_rate)),
+                ("mixed inserts/s", round(res.mixed_insert_rate)),
+                ("mixed queries/s", round(res.mixed_query_rate)),
+            ],
+        )
+    )
+
+
+def _ablations(quick: bool) -> None:
+    print(
+        render_table(
+            "Insert policy ablation (items scanned / query)",
+            ["policy", "scanned"],
+            [(k, round(v, 1)) for k, v in run_insert_policy_ablation().items()],
+        )
+    )
+    print()
+    print(
+        render_table(
+            "ID expansion ablation",
+            ["mapping", "scanned"],
+            [(k, round(v, 1)) for k, v in run_id_expansion_ablation().items()],
+        )
+    )
+    print()
+    print(
+        render_table(
+            "Split policy ablation",
+            ["split", "scanned"],
+            [(k, round(v, 1)) for k, v in run_split_ablation().items()],
+        )
+    )
+    print()
+    out = run_cached_aggregates_ablation()
+    print(
+        render_table(
+            "Cached aggregates ablation",
+            ["mode", "nodes", "scanned", "agg_hits"],
+            [(k, *[round(x, 1) for x in v.values()]) for k, v in out.items()],
+        )
+    )
+    print()
+    print(
+        render_table(
+            "Sync period ablation",
+            ["period_s", "time_to_fresh_s"],
+            [(p, round(t, 2)) for p, t in sorted(run_sync_period_ablation().items())],
+        )
+    )
+
+
+TARGETS = {
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig67,
+    "fig7": _fig67,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "headline": _headline,
+    "ablations": _ablations,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures as text tables.",
+    )
+    parser.add_argument(
+        "target", choices=sorted(TARGETS) + ["all"], help="figure to regenerate"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller sizes, faster run"
+    )
+    args = parser.parse_args(argv)
+    targets = sorted(set(TARGETS)) if args.target == "all" else [args.target]
+    done = set()
+    for t in targets:
+        fn = TARGETS[t]
+        if fn in done:
+            continue
+        done.add(fn)
+        t0 = time.perf_counter()
+        fn(args.quick)
+        print(f"\n[{t} finished in {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

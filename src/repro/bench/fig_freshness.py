@@ -1,0 +1,85 @@
+"""Freshness experiment drivers: paper Figure 10 plus the sync-period
+ablation (DESIGN.md section 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..freshness.pbs import LatencyDistribution, PBSResult, PBSSimulator
+
+__all__ = ["Fig10Result", "run_fig10", "run_sync_period_ablation"]
+
+
+@dataclass
+class Fig10Result:
+    #: coverage -> PBSResult (Fig 10a curves)
+    curves: dict[float, PBSResult]
+    #: (coverage, elapsed) -> P(missed == k) for k = 1..4 (Fig 10b bars)
+    pmfs: dict[tuple[float, float], np.ndarray]
+
+
+def run_fig10(
+    insert_rate: float = 50_000.0,
+    coverages: Sequence[float] = (0.25, 0.50, 0.75, 1.00),
+    elapsed_grid: Optional[Sequence[float]] = None,
+    pmf_elapsed: Sequence[float] = (0.25, 1.0, 2.0),
+    latency_samples: Optional[Sequence[float]] = None,
+    trials: int = 120,
+    seed: int = 0,
+) -> Fig10Result:
+    """Missed-insert curves and probabilities, as in paper Fig 10.
+
+    ``latency_samples`` lets callers feed the insert latencies measured
+    on a simulated cluster run (the paper used the distributions
+    "observed for VOLAP in these experiments"); the default is a
+    calibrated lognormal.
+    """
+    if elapsed_grid is None:
+        elapsed_grid = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+    dist = (
+        LatencyDistribution(samples=latency_samples)
+        if latency_samples is not None
+        else None
+    )
+    curves = {}
+    pmfs = {}
+    for cov in coverages:
+        sim = PBSSimulator(
+            insert_rate=insert_rate, insert_latency=dist, seed=seed
+        )
+        curves[cov] = sim.missed_curve(elapsed_grid, coverage=cov, trials=trials)
+        for e in pmf_elapsed:
+            pmfs[(cov, e)] = sim.missed_pmf(
+                e, coverage=cov, trials=trials * 10
+            )
+    return Fig10Result(curves=curves, pmfs=pmfs)
+
+
+def run_sync_period_ablation(
+    sync_periods: Sequence[float] = (0.5, 1.0, 3.0, 10.0),
+    insert_rate: float = 50_000.0,
+    expansion_miss_prob: float = 1e-4,
+    trials: int = 150,
+    seed: int = 1,
+) -> dict[float, float]:
+    """Freshness cost of the configurable sync period.
+
+    Uses an exaggerated expansion-miss probability so the sync tail is
+    measurable, and reports for each period the smallest elapsed time at
+    which expected missed inserts fall below 0.5 -- longer sync periods
+    keep queries stale for proportionally longer."""
+    out = {}
+    for period in sync_periods:
+        sim = PBSSimulator(
+            insert_rate=insert_rate,
+            sync_period=period,
+            expansion_miss_prob=expansion_miss_prob,
+            seed=seed,
+        )
+        grid = np.linspace(0.0, period + 0.5, 30)
+        res = sim.missed_curve(grid, coverage=1.0, trials=trials)
+        out[period] = res.time_to_fresh(threshold=0.5)
+    return out

@@ -1,0 +1,246 @@
+"""Single-node tree experiments: paper Figures 4 and 5 plus ablations.
+
+Every driver returns plain data (lists of rows) so the ``benchmarks/``
+targets can both print the figure and assert its shape.  Sizes are
+scaled down from the paper's testbed (DESIGN.md section 6); shapes, not
+absolute magnitudes, are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core import (
+    HilbertPDCTree,
+    HilbertRTree,
+    PDCTree,
+    RTree,
+    TreeConfig,
+)
+from ..workloads.highdim import (
+    heterogeneous_schema,
+    latent_cluster_batch,
+    level_constrained_queries,
+)
+from ..workloads.querygen import PAPER_BIN_NAMES, QueryGenerator
+from ..workloads.tpcds import TPCDSGenerator, tpcds_schema
+
+__all__ = [
+    "Fig4Result",
+    "Fig5Row",
+    "run_fig4",
+    "run_fig5",
+    "run_insert_policy_ablation",
+    "run_id_expansion_ablation",
+    "run_split_ablation",
+    "run_cached_aggregates_ablation",
+]
+
+
+def _build_by_inserts(cls, schema, batch, config=None):
+    tree = cls(schema, config)
+    t0 = time.perf_counter()
+    for coords, m in batch.iter_rows():
+        tree.insert(coords, m)
+    return tree, time.perf_counter() - t0
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: Hilbert PDC tree vs PDC tree, query time vs size per coverage
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig4Result:
+    sizes: list[int]
+    #: series["<tree> <bin>"] = [(size, avg_query_seconds)]
+    series: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+
+    def avg(self, tree: str, bin_name: str) -> float:
+        pts = self.series[f"{tree} {bin_name}"]
+        return float(np.mean([y for _, y in pts]))
+
+
+def run_fig4(
+    sizes: Sequence[int] = (10_000, 20_000, 40_000),
+    queries_per_bin: int = 6,
+    repeats: int = 3,
+    seed: int = 1,
+) -> Fig4Result:
+    """Query time vs tree size for both trees and three coverage bands."""
+    schema = tpcds_schema()
+    result = Fig4Result(sizes=list(sizes))
+    for name in ("hilbert_pdc", "pdc"):
+        for bin_name in PAPER_BIN_NAMES:
+            result.series[f"{name} {bin_name}"] = []
+    for n in sizes:
+        gen = TPCDSGenerator(schema, seed=seed)
+        batch = gen.batch(n)
+        qg = QueryGenerator(schema, batch, seed=seed + 1)
+        bins = qg.generate_bins(per_bin=queries_per_bin)
+        trees = {
+            "hilbert_pdc": HilbertPDCTree.from_batch(schema, batch),
+            "pdc": _build_by_inserts(PDCTree, schema, batch)[0],
+        }
+        for tname, tree in trees.items():
+            for bin_name in PAPER_BIN_NAMES:
+                qs = bins.queries[bin_name][:queries_per_bin]
+                t0 = time.perf_counter()
+                for _ in range(repeats):
+                    for q in qs:
+                        tree.query(q.box)
+                avg = (time.perf_counter() - t0) / (repeats * len(qs))
+                result.series[f"{tname} {bin_name}"].append((n, avg))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: insert/query latency vs number of dimensions, four tree variants
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig5Row:
+    tree: str
+    dims: int
+    insert_latency: float  # seconds per insert
+    query_latency: float  # seconds per query (wall)
+    query_nodes: float  # nodes visited per query (work measure)
+    query_scanned: float  # items scanned per query
+
+
+FIG5_TREES: dict[str, type] = {
+    "hilbert_pdc": HilbertPDCTree,
+    "hilbert_r": HilbertRTree,
+    "pdc": PDCTree,
+    "r": RTree,
+}
+
+
+def run_fig5(
+    dims: Sequence[int] = (4, 8, 16, 32, 64),
+    n_items: int = 4000,
+    n_queries: int = 15,
+    clusters: int = 12,
+    seed: int = 3,
+) -> list[Fig5Row]:
+    """Insert and query latency as dimensionality grows.
+
+    Latent-cluster data over a heterogeneous-width schema; queries
+    constrain three dimensions at level 1 (see
+    :mod:`repro.workloads.highdim`)."""
+    rows: list[Fig5Row] = []
+    for d in dims:
+        schema = heterogeneous_schema(d, seed=seed)
+        batch, centers = latent_cluster_batch(
+            schema, n_items, clusters=clusters, seed=seed
+        )
+        queries = level_constrained_queries(
+            schema, centers, n_queries, constrained_dims=3, seed=seed + 1
+        )
+        for tname, cls in FIG5_TREES.items():
+            tree, build_s = _build_by_inserts(cls, schema, batch)
+            nv = sc = 0
+            t0 = time.perf_counter()
+            for q in queries:
+                _, st = tree.query(q)
+                nv += st.nodes_visited
+                sc += st.items_scanned
+            q_s = (time.perf_counter() - t0) / len(queries)
+            rows.append(
+                Fig5Row(
+                    tree=tname,
+                    dims=d,
+                    insert_latency=build_s / n_items,
+                    query_latency=q_s,
+                    query_nodes=nv / len(queries),
+                    query_scanned=sc / len(queries),
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md section 5)
+# ---------------------------------------------------------------------------
+
+
+def run_insert_policy_ablation(
+    n_items: int = 5000, n_queries: int = 20, seed: int = 5
+) -> dict[str, float]:
+    """Least-overlap vs least-enlargement child choice in the PDC tree.
+
+    Returns average items scanned per query for each policy (lower is a
+    tighter tree)."""
+    schema = heterogeneous_schema(12, seed=seed)
+    batch, centers = latent_cluster_batch(schema, n_items, seed=seed)
+    queries = level_constrained_queries(schema, centers, n_queries, seed=seed + 1)
+    out = {}
+    for policy in ("least_overlap", "least_enlargement"):
+        cfg = TreeConfig(key_kind="mds", insert_policy=policy)
+        tree, _ = _build_by_inserts(PDCTree, schema, batch, cfg)
+        scanned = sum(tree.query(q)[1].items_scanned for q in queries)
+        out[policy] = scanned / n_queries
+    return out
+
+
+def run_id_expansion_ablation(
+    n_items: int = 5000, n_queries: int = 20, seed: int = 7
+) -> dict[str, float]:
+    """Fig. 3 ID expansion on vs off in the Hilbert PDC tree.
+
+    Returns average items scanned per query; raw (unexpanded) ids lose
+    locality for narrow dimensions on heterogeneous schemas."""
+    schema = heterogeneous_schema(12, seed=seed)
+    batch, centers = latent_cluster_batch(schema, n_items, seed=seed)
+    queries = level_constrained_queries(schema, centers, n_queries, seed=seed + 1)
+    out = {}
+    for label, expand in (("expanded", True), ("raw", False)):
+        cfg = TreeConfig(key_kind="mds", hilbert_expand_ids=expand)
+        tree = HilbertPDCTree.from_batch(schema, batch, cfg)
+        scanned = sum(tree.query(q)[1].items_scanned for q in queries)
+        out[label] = scanned / n_queries
+    return out
+
+
+def run_split_ablation(
+    n_items: int = 5000, n_queries: int = 20, seed: int = 9
+) -> dict[str, float]:
+    """Least-overlap split position vs middle split in the Hilbert PDC
+    tree; average items scanned per query."""
+    schema = heterogeneous_schema(12, seed=seed)
+    batch, centers = latent_cluster_batch(schema, n_items, seed=seed)
+    queries = level_constrained_queries(schema, centers, n_queries, seed=seed + 1)
+    out = {}
+    for policy in ("least_overlap", "middle"):
+        cfg = TreeConfig(key_kind="mds", split_policy=policy)
+        tree, _ = _build_by_inserts(HilbertPDCTree, schema, batch, cfg)
+        scanned = sum(tree.query(q)[1].items_scanned for q in queries)
+        out[policy] = scanned / n_queries
+    return out
+
+
+def run_cached_aggregates_ablation(
+    n_items: int = 8000, seed: int = 11
+) -> dict[str, dict[str, float]]:
+    """Cached node aggregates on vs off: work per full-coverage query."""
+    from ..olap.query import full_query
+
+    schema = tpcds_schema()
+    batch = TPCDSGenerator(schema, seed=seed).batch(n_items)
+    box = full_query(schema).box
+    out = {}
+    for label, cached in (("cached", True), ("uncached", False)):
+        cfg = TreeConfig(key_kind="mds", cache_aggregates=cached)
+        tree = HilbertPDCTree.from_batch(schema, batch, cfg)
+        _, st = tree.query(box)
+        out[label] = {
+            "nodes_visited": float(st.nodes_visited),
+            "items_scanned": float(st.items_scanned),
+            "agg_hits": float(st.agg_hits),
+        }
+    return out

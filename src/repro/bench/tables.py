@@ -1,0 +1,48 @@
+"""Plain-text rendering of experiment results (the "figures" as rows)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """Fixed-width table with a title rule, ready for printing."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: dict[str, Sequence[tuple]]) -> str:
+    """Named (x, y) series, one block per name."""
+    lines = [title, "=" * len(title)]
+    for name, points in series.items():
+        lines.append(f"-- {name}")
+        for pt in points:
+            lines.append("   " + "  ".join(_fmt(v) for v in pt))
+    return "\n".join(lines)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4g}"
+    return str(v)

@@ -1,0 +1,38 @@
+"""The distributed VOLAP system (simulated substrate; see DESIGN.md)."""
+
+from .client import ClientSession
+from .cluster import ClusterConfig, VOLAPCluster
+from .cost import CostModel
+from .image import LocalImage, ShardInfo
+from .manager import BalancerPolicy, Manager
+from .server import Server
+from .simclock import ServicePool, SimClock
+from .stats import ClusterStats, OpRecord
+from .transport import Entity, LatencyModel, Message, Transport
+from .wire import key_from_wire, key_to_wire
+from .worker import Worker
+from .zookeeper import Zookeeper
+
+__all__ = [
+    "BalancerPolicy",
+    "ClientSession",
+    "ClusterConfig",
+    "ClusterStats",
+    "CostModel",
+    "Entity",
+    "LatencyModel",
+    "LocalImage",
+    "Manager",
+    "Message",
+    "OpRecord",
+    "Server",
+    "ServicePool",
+    "ShardInfo",
+    "SimClock",
+    "Transport",
+    "VOLAPCluster",
+    "Worker",
+    "key_from_wire",
+    "key_to_wire",
+    "Zookeeper",
+]

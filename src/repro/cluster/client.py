@@ -1,0 +1,96 @@
+"""Closed-loop client sessions driving operation streams.
+
+Each session is attached to one server (paper Section III: "each user
+session is attached to one of the server nodes") and keeps a fixed
+number of operations in flight; a completion immediately triggers the
+next operation.  Per-operation latencies and completions land in
+:class:`~repro.cluster.stats.ClusterStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..workloads.streams import Operation
+from .stats import ClusterStats, OpRecord
+from .transport import Entity, Message, Transport
+
+__all__ = ["ClientSession"]
+
+
+class ClientSession(Entity):
+    """A client submitting a stream of operations to one server."""
+
+    def __init__(
+        self,
+        client_id: int,
+        transport: Transport,
+        server: Entity,
+        stats: ClusterStats,
+        concurrency: int = 8,
+    ):
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.name = f"client-{client_id}"
+        self.transport = transport
+        self.server = server
+        self.stats = stats
+        self.concurrency = concurrency
+        self._ops: list[Operation] = []
+        self._next = 0
+        self._outstanding = 0
+        self.completed = 0
+        self.on_done: Optional[Callable[[], None]] = None
+        #: called on each completed op (used by tests / oracles)
+        self.on_complete: Optional[Callable[[OpRecord], None]] = None
+
+    @property
+    def done(self) -> bool:
+        return self._next >= len(self._ops) and self._outstanding == 0
+
+    def run_stream(self, ops: Iterable[Operation]) -> None:
+        """Load a stream and start issuing operations."""
+        self._ops.extend(ops)
+        while self._outstanding < self.concurrency and self._next < len(self._ops):
+            self._issue(self._ops[self._next])
+            self._next += 1
+
+    def _issue(self, op: Operation) -> None:
+        self._outstanding += 1
+        if op.is_insert:
+            self.transport.send(
+                self.server,
+                Message("client_insert", (op.coords, op.measure, self)),
+            )
+        else:
+            self.transport.send(
+                self.server, Message("client_query", (op.query, self))
+            )
+
+    def receive(self, msg: Message) -> None:
+        now = self.transport.clock.now
+        if msg.kind == "insert_done":
+            _token, submit_time = msg.payload
+            rec = OpRecord("insert", submit_time, now)
+        elif msg.kind == "query_done":
+            _token, submit_time, agg, searched, coverage = msg.payload
+            rec = OpRecord(
+                "query",
+                submit_time,
+                now,
+                coverage=coverage,
+                shards_searched=searched,
+                result_count=agg.count,
+            )
+        else:
+            raise ValueError(f"client: unknown message {msg.kind!r}")
+        self.stats.record_op(rec)
+        if self.on_complete is not None:
+            self.on_complete(rec)
+        self.completed += 1
+        self._outstanding -= 1
+        if self._next < len(self._ops):
+            self._issue(self._ops[self._next])
+            self._next += 1
+        elif self._outstanding == 0 and self.on_done is not None:
+            self.on_done()

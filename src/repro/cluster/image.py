@@ -1,0 +1,323 @@
+"""The system image index: a modified PDC tree over shard bounding keys.
+
+Paper Section III-C.  Each server's *local image* finds the shards
+relevant to an insertion or query.  It is a PDC-tree-like structure
+whose **leaves are fixed**: exactly one leaf per shard.  Insertions
+never split leaves -- reaching a leaf expands its bounding key and
+returns that shard.  The child chosen during descent is the one whose
+expansion "results in the least overlap, since the high global cost of
+overlap dominates the cost of performing overlap calculations in the
+index".
+
+Shard bounding keys are "either a Minimum Bounding Rectangle (MBR, one
+box) or Minimum Describing Subset (MDS, multiple boxes)" (Section
+III-A); the image supports both through the shared key-policy layer
+(``key_kind`` parameter) and *adopts* whatever kind the workers publish
+into its own.
+
+Synchronisation needs two structural operations the query path never
+uses: *adding a shard* (a new leaf, with directory splits), and
+*bottom-up expansion* -- when Zookeeper reports a bounding key grew, the
+leaf is located through a shard-id -> leaf pointer table (searching by
+key would be ambiguous under overlap) and the expansion propagates
+toward the root.  The paper notes this transiently violates the
+containment invariant without affecting correctness; the same holds
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..core.keypolicy import KeyPolicy, make_policy
+from ..olap.keys import Box
+from .wire import BoundingKey, key_from_wire, key_to_wire
+
+__all__ = ["ShardInfo", "LocalImage"]
+
+
+@dataclass
+class ShardInfo:
+    """What the image knows about one shard."""
+
+    shard_id: int
+    key: BoundingKey
+    worker_id: int
+    size: int = 0
+
+    @property
+    def box(self) -> Box:
+        """Single-box view of the bounding key (MBR of an MDS key)."""
+        if isinstance(self.key, Box):
+            return self.key
+        return self.key.mbr()
+
+    def to_wire(self) -> tuple:
+        """Serialisable snapshot for the Zookeeper system image."""
+        return (self.shard_id, key_to_wire(self.key), self.worker_id, self.size)
+
+    @staticmethod
+    def from_wire(t: tuple) -> "ShardInfo":
+        return ShardInfo(t[0], key_from_wire(t[1]), t[2], t[3])
+
+
+class _ImageNode:
+    __slots__ = ("key", "parent", "children", "shard")
+
+    def __init__(
+        self,
+        key: BoundingKey,
+        parent: Optional["_ImageNode"] = None,
+        shard: Optional[ShardInfo] = None,
+    ):
+        self.key = key
+        self.parent = parent
+        self.children: Optional[list["_ImageNode"]] = None if shard else []
+        self.shard = shard
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.shard is not None
+
+
+class LocalImage:
+    """A server's in-memory index over the global shard set."""
+
+    def __init__(
+        self,
+        num_dims: int,
+        fanout: int = 8,
+        key_kind: str = "mbr",
+        mds_max_intervals: int = 4,
+    ):
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.num_dims = num_dims
+        self.fanout = fanout
+        self.policy: KeyPolicy = make_policy(key_kind, mds_max_intervals)
+        self.root = _ImageNode(self.policy.empty(num_dims))
+        self._leaves: dict[int, _ImageNode] = {}
+        #: shards whose keys grew locally since the last Zookeeper sync
+        self.dirty: set[int] = set()
+        self.nodes_visited_last = 0
+
+    # -- membership ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._leaves
+
+    def shards(self) -> Iterator[ShardInfo]:
+        for leaf in self._leaves.values():
+            yield leaf.shard
+
+    def get(self, shard_id: int) -> ShardInfo:
+        return self._leaves[shard_id]. shard
+
+    # -- structural ops (synchronisation path) ------------------------------
+
+    def add_shard(self, info: ShardInfo) -> None:
+        """Insert a new leaf for ``info`` (R-tree-style, splits allowed)."""
+        if info.shard_id in self._leaves:
+            raise ValueError(f"shard {info.shard_id} already present")
+        # Adopt the published key into this image's native kind; the
+        # leaf's key *is* the shard's key thereafter, so path expansions
+        # are visible through both.
+        info.key = self.policy.adopt(info.key)
+        leaf = _ImageNode(info.key, shard=info)
+        self._leaves[info.shard_id] = leaf
+        node = self.root
+        while True:
+            self.policy.expand(node.key, info.key)
+            if not node.children or node.children[0].is_leaf:
+                break
+            node = node.children[self._least_overlap_child(node, info.key)]
+        leaf.parent = node
+        node.children.append(leaf)
+        self._split_up(node)
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Drop a shard's leaf (after a split replaced it, or migration)."""
+        leaf = self._leaves.pop(shard_id)
+        parent = leaf.parent
+        parent.children.remove(leaf)
+        # prune empty directory chains (keys are left loose; harmless)
+        while parent is not self.root and not parent.children:
+            gp = parent.parent
+            gp.children.remove(parent)
+            parent = gp
+        self.dirty.discard(shard_id)
+
+    def update_worker(self, shard_id: int, worker_id: int) -> None:
+        self._leaves[shard_id].shard.worker_id = worker_id
+
+    def update_size(self, shard_id: int, size: int) -> None:
+        self._leaves[shard_id].shard.size = size
+
+    def expand_shard(self, shard_id: int, key: BoundingKey) -> bool:
+        """Bottom-up expansion from the leaf pointer table (sync path)."""
+        leaf = self._leaves[shard_id]
+        grown = self.policy.adopt(key)
+        if not self.policy.expand(leaf.key, grown):
+            return False
+        node = leaf.parent
+        while node is not None:
+            if not self.policy.expand(node.key, grown):
+                break
+            node = node.parent
+        return True
+
+    # -- operation routing ----------------------------------------------------
+
+    def route_insert(self, coords: np.ndarray) -> ShardInfo:
+        """Choose the shard for an insertion; expand keys on the path.
+
+        Descends by least overlap.  Marks the shard dirty when its
+        bounding key grows (the server will push the new key to
+        Zookeeper at the next sync).
+        """
+        if not self._leaves:
+            raise RuntimeError("image has no shards")
+        visited = 1
+        node = self.root
+        self.policy.expand_point(node.key, coords)
+        changed = False
+        while not node.is_leaf:
+            idx = self._route_child(node, coords)
+            node = node.children[idx]
+            changed = self.policy.expand_point(node.key, coords)
+            visited += 1
+        self.nodes_visited_last = visited
+        info = node.shard  # node.key is info.key: path expansion included it
+        if changed:
+            self.dirty.add(info.shard_id)
+        info.size += 1
+        return info
+
+    def search(self, box: Box) -> list[ShardInfo]:
+        """All shards whose bounding key intersects ``box``."""
+        out: list[ShardInfo] = []
+        visited = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            visited += 1
+            if node.is_leaf:
+                out.append(node.shard)
+                continue
+            for c in node.children:
+                if self.policy.intersects_box(c.key, box):
+                    stack.append(c)
+        self.nodes_visited_last = visited
+        return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _route_child(self, node: _ImageNode, coords: np.ndarray) -> int:
+        children = node.children
+        if len(children) == 1:
+            return 0
+        covering = [
+            i
+            for i, c in enumerate(children)
+            if self.policy.covers_point(c.key, coords)
+        ]
+        if covering:
+            return min(
+                covering, key=lambda i: self.policy.log_volume(children[i].key)
+            )
+        return self._least_overlap_child(node, self.policy.from_point(coords))
+
+    def _least_overlap_child(self, node: _ImageNode, key: BoundingKey) -> int:
+        """Least overlap of the expanded child with its siblings' union."""
+        children = node.children
+        n = len(children)
+        if n == 1:
+            return 0
+        prefix = [self.policy.empty(self.num_dims)]
+        for c in children:
+            acc = self.policy.copy(prefix[-1])
+            self.policy.expand(acc, c.key)
+            prefix.append(acc)
+        suffix = [self.policy.empty(self.num_dims)]
+        for c in reversed(children):
+            acc = self.policy.copy(suffix[-1])
+            self.policy.expand(acc, c.key)
+            suffix.append(acc)
+        suffix.reverse()
+        best, best_key = 0, (float("inf"), float("inf"))
+        for i, c in enumerate(children):
+            expanded = self.policy.copy(c.key)
+            self.policy.expand(expanded, key)
+            others = self.policy.copy(prefix[i])
+            self.policy.expand(others, suffix[i + 1])
+            ov = self.policy.log_overlap(expanded, others)
+            tie = self.policy.log_volume(expanded) - self.policy.log_volume(
+                c.key
+            )
+            if (ov, tie) < best_key:
+                best_key = (ov, tie)
+                best = i
+        return best
+
+    def _split_up(self, node: _ImageNode) -> None:
+        """Split directory nodes upward while over fanout."""
+        while node is not None and len(node.children) > self.fanout:
+            centers = np.array(
+                [self.policy.mbr(c.key).center() for c in node.children]
+            )
+            spans = centers.max(axis=0) - centers.min(axis=0)
+            dim = int(np.argmax(spans))
+            order = np.argsort(centers[:, dim], kind="stable")
+            mid = len(order) // 2
+            groups = (
+                [node.children[i] for i in order[:mid]],
+                [node.children[i] for i in order[mid:]],
+            )
+            if node.parent is None:
+                # root split: root becomes a directory of two new nodes
+                new_kids = []
+                for grp in groups:
+                    sub = _ImageNode(self.policy.empty(self.num_dims), parent=node)
+                    sub.children = grp
+                    for g in grp:
+                        g.parent = sub
+                        self.policy.expand(sub.key, g.key)
+                    new_kids.append(sub)
+                node.children = new_kids
+                return
+            sibling = _ImageNode(
+                self.policy.empty(self.num_dims), parent=node.parent
+            )
+            sibling.children = groups[1]
+            for g in groups[1]:
+                g.parent = sibling
+                self.policy.expand(sibling.key, g.key)
+            node.children = groups[0]
+            node.key = self.policy.empty(self.num_dims)
+            for g in groups[0]:
+                g.parent = node
+                self.policy.expand(node.key, g.key)
+            node.parent.children.append(sibling)
+            node = node.parent
+
+    def validate(self) -> None:
+        """Test hook: parent/child links and leaf table consistency."""
+        seen: set[int] = set()
+
+        def rec(node: _ImageNode) -> None:
+            if node.is_leaf:
+                assert self._leaves.get(node.shard.shard_id) is node
+                seen.add(node.shard.shard_id)
+                return
+            for c in node.children:
+                assert c.parent is node, "broken parent pointer"
+                rec(c)
+
+        rec(self.root)
+        assert seen == set(self._leaves), "leaf table out of sync"

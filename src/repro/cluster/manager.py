@@ -1,0 +1,193 @@
+"""The manager: real-time load balancing (paper Section III-E).
+
+A background process that periodically analyses the system state in
+Zookeeper and initiates split and migration operations, coordinating
+workers while the system continues to serve inserts and queries.  The
+manager is deliberately *not* on the insert/query path -- it can reside
+anywhere and is never a throughput bottleneck.
+
+Policy (paper: "the manager may identify a worker that is overloaded
+and about to run out of memory, then send messages to workers
+instructing them to perform the appropriate splits and/or migrations"):
+
+* any shard larger than ``max_shard_items`` is split in place;
+* when the most loaded worker stores more than ``imbalance_ratio``
+  times the least loaded one, shards migrate from the former to the
+  latter until the projected sizes balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .simclock import SimClock
+from .stats import ClusterStats
+from .transport import Entity, Message, Transport
+from .zookeeper import Zookeeper
+
+__all__ = ["BalancerPolicy", "Manager"]
+
+
+@dataclass(frozen=True)
+class BalancerPolicy:
+    """Thresholds steering the manager's decisions."""
+
+    max_shard_items: int = 8000
+    imbalance_ratio: float = 1.4
+    min_migrate_items: int = 200
+    scan_period: float = 1.0
+    max_inflight: int = 4
+
+
+class Manager(Entity):
+    """The load-balancing coordinator."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        transport: Transport,
+        zk: Zookeeper,
+        workers: dict[int, Entity],
+        policy: Optional[BalancerPolicy] = None,
+        stats: Optional[ClusterStats] = None,
+        first_shard_id: int = 1_000,
+    ):
+        self.name = "manager"
+        self.clock = clock
+        self.transport = transport
+        self.zk = zk
+        self.workers = workers
+        self.policy = policy if policy is not None else BalancerPolicy()
+        self.stats = stats if stats is not None else ClusterStats()
+        self._next_shard_id = first_shard_id
+        self._busy_shards: set[int] = set()
+        self._inflight = 0
+        self.splits_started = 0
+        self.migrations_started = 0
+        self.enabled = True
+        clock.every(self.policy.scan_period, self.scan)
+
+    def allocate_shard_id(self) -> int:
+        self._next_shard_id += 1
+        return self._next_shard_id
+
+    # -- periodic decision loop -------------------------------------------
+
+    def _worker_state(self) -> dict[int, dict]:
+        state = {}
+        for wid in self.workers:
+            data = self.zk.get(f"/stats/workers/{wid}")
+            if data is not None:
+                state[wid] = data
+        return state
+
+    def scan(self) -> None:
+        if not self.enabled or self._inflight >= self.policy.max_inflight:
+            return
+        state = self._worker_state()
+        if len(state) < 1:
+            return
+        self._scan_splits(state)
+        if self._inflight < self.policy.max_inflight:
+            self._scan_migrations(state)
+
+    def _scan_splits(self, state: dict[int, dict]) -> None:
+        for wid, data in state.items():
+            for sid, size in data.get("shards", {}).items():
+                if (
+                    size > self.policy.max_shard_items
+                    and sid not in self._busy_shards
+                    and self._inflight < self.policy.max_inflight
+                ):
+                    self._start_split(wid, sid)
+
+    def _scan_migrations(self, state: dict[int, dict]) -> None:
+        """Plan migrations using projected sizes until balance or the
+        in-flight budget is reached (several moves per scan)."""
+        if len(state) < 2:
+            return
+        sizes = {wid: data.get("items", 0) for wid, data in state.items()}
+        shards = {
+            wid: dict(data.get("shards", {})) for wid, data in state.items()
+        }
+        while self._inflight < self.policy.max_inflight:
+            src = max(sizes, key=sizes.get)
+            dst = min(sizes, key=sizes.get)
+            if src == dst:
+                return
+            if sizes[src] <= self.policy.imbalance_ratio * max(
+                sizes[dst], self.policy.min_migrate_items
+            ):
+                return
+            # move the largest shard that keeps dst below src
+            gap = (sizes[src] - sizes[dst]) / 2
+            candidates = [
+                (size, sid)
+                for sid, size in shards[src].items()
+                if sid not in self._busy_shards
+                and self.policy.min_migrate_items <= size <= gap
+            ]
+            if not candidates:
+                # Every movable shard is too big: split the largest one
+                # so the next scan has migratable pieces (paper III-E:
+                # "a shard can also be split if the load balancer
+                # requires smaller shards for migration").
+                splittable = [
+                    (size, sid)
+                    for sid, size in shards[src].items()
+                    if sid not in self._busy_shards
+                    and size >= 2 * self.policy.min_migrate_items
+                ]
+                if splittable:
+                    _, sid = max(splittable)
+                    self._start_split(src, sid)
+                return
+            size, sid = max(candidates)
+            self._start_migration(src, dst, sid)
+            # project the move so the next iteration plans with it applied
+            sizes[src] -= size
+            sizes[dst] += size
+            del shards[src][sid]
+            shards[dst][sid] = size
+
+    # -- operations -----------------------------------------------------------
+
+    def _start_split(self, worker_id: int, shard_id: int) -> None:
+        self._busy_shards.add(shard_id)
+        self._inflight += 1
+        self.splits_started += 1
+        low, high = self.allocate_shard_id(), self.allocate_shard_id()
+        self.transport.send(
+            self.workers[worker_id],
+            Message("split_shard", (shard_id, low, high, self)),
+        )
+
+    def _start_migration(self, src: int, dst: int, shard_id: int) -> None:
+        self._busy_shards.add(shard_id)
+        self._inflight += 1
+        self.migrations_started += 1
+        self.transport.send(
+            self.workers[src],
+            Message("migrate_shard", (shard_id, self.workers[dst], self)),
+        )
+
+    # -- acknowledgements -----------------------------------------------------
+
+    def receive(self, msg: Message) -> None:
+        if msg.kind == "split_done":
+            shard_id, _low, _high, _wid = msg.payload
+            self._busy_shards.discard(shard_id)
+            self._inflight -= 1
+            self.stats.record_split(self.clock.now)
+        elif msg.kind == "migrate_done":
+            shard_id, _src, _dst = msg.payload
+            self._busy_shards.discard(shard_id)
+            self._inflight -= 1
+            self.stats.record_migration(self.clock.now)
+        elif msg.kind in ("split_failed", "migrate_failed"):
+            shard_id = msg.payload[0]
+            self._busy_shards.discard(shard_id)
+            self._inflight -= 1
+        else:
+            raise ValueError(f"manager: unknown message {msg.kind!r}")

@@ -1,0 +1,284 @@
+"""Server nodes: request routing, local images, and freshness sync.
+
+Paper Sections III-B/III-C.  Servers own client sessions.  Each keeps a
+*local image* (:class:`~repro.cluster.image.LocalImage`) as an
+in-memory cache of the Zookeeper system image:
+
+* an **insert** routes through the image to exactly one shard, is
+  forwarded to that shard's worker, and the ack flows back to the
+  client.  If routing grew a shard's bounding box, the shard is marked
+  dirty and the new box is pushed to Zookeeper at the next sync tick
+  (every ``sync_period`` seconds -- 3 s in the paper's experiments);
+* a **query** collects every shard whose box intersects the query box,
+  fans out one message per owning worker, merges the partial
+  aggregates, and replies to the client;
+* Zookeeper watch events deliver other servers' box expansions
+  (applied bottom-up through the leaf-pointer table), new shards from
+  splits, shard removals, and migration re-assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.aggregates import Aggregate
+from ..olap.schema import Schema
+from .cost import CostModel
+from .image import LocalImage, ShardInfo
+from .simclock import ServicePool, SimClock
+from .transport import Entity, Message, Transport
+from .wire import key_from_wire, key_to_wire
+from .zookeeper import Zookeeper
+
+__all__ = ["Server"]
+
+
+@dataclass
+class _PendingQuery:
+    token: int
+    reply_to: Entity
+    submit_time: float
+    agg: Aggregate
+    waiting: int
+    shards_searched: int
+    coverage: float
+
+
+@dataclass
+class _PendingInsert:
+    token: int
+    reply_to: Entity
+    submit_time: float
+    coords: np.ndarray
+    measure: float
+    retries: int = 0
+
+
+class Server(Entity):
+    """One server node of the VOLAP cluster."""
+
+    def __init__(
+        self,
+        server_id: int,
+        clock: SimClock,
+        transport: Transport,
+        zk: Zookeeper,
+        schema: Schema,
+        workers: dict[int, Entity],
+        threads: int = 16,
+        sync_period: float = 3.0,
+        cost: Optional[CostModel] = None,
+        image_fanout: int = 8,
+        image_key_kind: str = "mbr",
+    ):
+        self.server_id = server_id
+        self.name = f"server-{server_id}"
+        self.clock = clock
+        self.transport = transport
+        self.zk = zk
+        self.schema = schema
+        self.workers = workers  # worker_id -> Worker entity
+        self.pool = ServicePool(clock, threads)
+        self.cost = cost if cost is not None else CostModel()
+        self.sync_period = sync_period
+        self.image = LocalImage(
+            schema.num_dims, fanout=image_fanout, key_kind=image_key_kind
+        )
+        self._pending_queries: dict[int, _PendingQuery] = {}
+        self._pending_inserts: dict[int, _PendingInsert] = {}
+        self._token = 0
+        self.inserts_routed = 0
+        self.queries_routed = 0
+        self.syncs = 0
+        # subscribe to system image changes
+        zk.watch("/shards/", self._on_shard_event)
+        zk.watch("/boxes/", self._on_box_event)
+        clock.every(sync_period, self.sync_to_zookeeper)
+
+    # -- bootstrap ------------------------------------------------------------
+
+    def load_image(self) -> None:
+        """Populate the local image from the current Zookeeper state."""
+        for sid in self.zk.ls("/shards"):
+            wire = self.zk.get(f"/shards/{sid}")
+            if wire is None:
+                continue
+            info = ShardInfo.from_wire(wire)
+            if info.shard_id in self.image:
+                self.image.update_worker(info.shard_id, info.worker_id)
+                self.image.expand_shard(info.shard_id, info.key)
+            else:
+                self.image.add_shard(info)
+
+    # -- client API (messages) ----------------------------------------------
+
+    def receive(self, msg: Message) -> None:
+        handler = getattr(self, f"_on_{msg.kind}", None)
+        if handler is None:
+            raise ValueError(f"{self.name}: unknown message {msg.kind!r}")
+        handler(msg)
+
+    def _next_token(self) -> int:
+        self._token += 1
+        return (self.server_id << 32) | self._token
+
+    def _on_client_insert(self, msg: Message) -> None:
+        coords, measure, reply_to = msg.payload
+        token = self._next_token()
+        self._pending_inserts[token] = _PendingInsert(
+            token, reply_to, self.clock.now, coords, measure
+        )
+        self._route_insert(token)
+
+    def _route_insert(self, token: int) -> None:
+        pending = self._pending_inserts[token]
+        info = self.image.route_insert(pending.coords)
+        self.inserts_routed += 1
+        service = self.cost.route_time(self.image.nodes_visited_last)
+        worker = self.workers[info.worker_id]
+
+        def forward() -> None:
+            self.transport.send(
+                worker,
+                Message(
+                    "insert",
+                    (
+                        info.shard_id,
+                        pending.coords,
+                        pending.measure,
+                        token,
+                        self,
+                    ),
+                ),
+            )
+
+        self.pool.submit(service, forward)
+
+    def _on_insert_ack(self, msg: Message) -> None:
+        token, _worker_id = msg.payload
+        pending = self._pending_inserts.pop(token, None)
+        if pending is None:
+            return
+        self.transport.send(
+            pending.reply_to,
+            Message("insert_done", (token, pending.submit_time)),
+        )
+
+    def _on_insert_nack(self, msg: Message) -> None:
+        """Stale route: refresh from Zookeeper and retry (bounded)."""
+        token, _shard_id = msg.payload
+        pending = self._pending_inserts.get(token)
+        if pending is None:
+            return
+        pending.retries += 1
+        if pending.retries > 5:
+            del self._pending_inserts[token]
+            return
+        self.load_image()
+        self._route_insert(token)
+
+    def _on_client_query(self, msg: Message) -> None:
+        query, reply_to = msg.payload
+        token = self._next_token()
+        infos = self.image.search(query.box)
+        self.queries_routed += 1
+        service = self.cost.route_time(self.image.nodes_visited_last)
+        if not infos:
+            pending = _PendingQuery(
+                token, reply_to, self.clock.now, Aggregate.empty(), 0, 0,
+                query.coverage,
+            )
+            self.pool.submit(
+                service, lambda: self._finish_query(pending)
+            )
+            return
+        by_worker: dict[int, list[int]] = {}
+        for info in infos:
+            by_worker.setdefault(info.worker_id, []).append(info.shard_id)
+        pending = _PendingQuery(
+            token,
+            reply_to,
+            self.clock.now,
+            Aggregate.empty(),
+            len(by_worker),
+            0,
+            query.coverage,
+        )
+        self._pending_queries[token] = pending
+        box_t = query.box.to_tuple()
+
+        def fan_out() -> None:
+            for worker_id, shard_ids in by_worker.items():
+                self.transport.send(
+                    self.workers[worker_id],
+                    Message("query", (token, shard_ids, box_t, self)),
+                )
+
+        self.pool.submit(service, fan_out)
+
+    def _on_query_result(self, msg: Message) -> None:
+        token, agg_t, searched, _worker_id = msg.payload
+        pending = self._pending_queries.get(token)
+        if pending is None:
+            return
+        pending.agg.merge(Aggregate(*agg_t))
+        pending.shards_searched += searched
+        pending.waiting -= 1
+        if pending.waiting == 0:
+            del self._pending_queries[token]
+            service = self.cost.merge_time(pending.shards_searched)
+            self.pool.submit(service, lambda: self._finish_query(pending))
+
+    def _finish_query(self, pending: _PendingQuery) -> None:
+        self.transport.send(
+            pending.reply_to,
+            Message(
+                "query_done",
+                (
+                    pending.token,
+                    pending.submit_time,
+                    pending.agg,
+                    pending.shards_searched,
+                    pending.coverage,
+                ),
+            ),
+        )
+
+    # -- synchronisation (paper III-B / IV-F) ---------------------------------
+
+    def sync_to_zookeeper(self) -> None:
+        """Push dirty bounding boxes to the global image."""
+        if not self.image.dirty:
+            return
+        self.syncs += 1
+        dirty = list(self.image.dirty)
+        self.image.dirty.clear()
+        for sid in dirty:
+            if sid in self.image:
+                self.zk.aset(
+                    f"/boxes/{sid}", key_to_wire(self.image.get(sid).key)
+                )
+
+    def _on_box_event(self, path: str, data: Any) -> None:
+        if data is None:
+            return
+        sid = int(path.rsplit("/", 1)[1])
+        if sid in self.image:
+            self.image.expand_shard(sid, key_from_wire(data))
+
+    def _on_shard_event(self, path: str, data: Any) -> None:
+        sid = int(path.rsplit("/", 1)[1])
+        if data is None:
+            if sid in self.image:
+                self.image.remove_shard(sid)
+            return
+        info = ShardInfo.from_wire(data)
+        if sid in self.image:
+            self.image.update_worker(sid, info.worker_id)
+            self.image.update_size(sid, info.size)
+            self.image.expand_shard(sid, info.key)
+        else:
+            self.image.add_shard(info)

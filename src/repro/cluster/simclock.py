@@ -1,0 +1,147 @@
+"""Discrete-event simulation kernel: virtual clock, events, service pools.
+
+The paper's evaluation runs on 20+ EC2 nodes with multi-threaded C++
+workers.  This reproduction executes the *same data-structure and
+protocol code* inside a discrete-event simulation: every entity
+(server, worker, Zookeeper, manager, client) handles events in virtual
+time, real index operations run at their virtual timestamps (event
+order == causal order), and their measured work counters are converted
+into virtual service times.  See DESIGN.md section 2 for why this
+substitution preserves the experiments' shapes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+__all__ = ["SimClock", "ServicePool"]
+
+
+class SimClock:
+    """A virtual clock with a heap of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    def at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute virtual time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
+        heapq.heappush(self._heap, (when, next(self._seq), fn))
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("negative delay")
+        self.at(self.now + delay, fn)
+
+    def every(
+        self,
+        period: float,
+        fn: Callable[[], None],
+        *,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> None:
+        """Run ``fn`` periodically (first firing at ``start`` or now+period)."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        first = start if start is not None else self.now + period
+
+        def tick() -> None:
+            if until is not None and self.now > until:
+                return
+            fn()
+            self.at(self.now + period, tick)
+
+        self.at(max(first, self.now), tick)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def step(self) -> bool:
+        """Process one event; False when nothing is scheduled."""
+        if not self._heap:
+            return False
+        when, _, fn = heapq.heappop(self._heap)
+        self.now = when
+        self._events_processed += 1
+        fn()
+        return True
+
+    def run_until(self, t: float, max_events: Optional[int] = None) -> None:
+        """Process events up to virtual time ``t`` (inclusive)."""
+        n = 0
+        while self._heap and self._heap[0][0] <= t:
+            self.step()
+            n += 1
+            if max_events is not None and n >= max_events:
+                raise RuntimeError(
+                    f"exceeded {max_events} events before reaching t={t}"
+                )
+        self.now = max(self.now, t)
+
+    def run(self, max_events: int = 50_000_000) -> None:
+        """Drain every scheduled event."""
+        n = 0
+        while self.step():
+            n += 1
+            if n >= max_events:
+                raise RuntimeError(f"exceeded {max_events} events")
+
+
+class ServicePool:
+    """Models ``k`` worker threads executing jobs with given durations.
+
+    Jobs submitted at virtual time ``t`` start on the thread that frees
+    up earliest (``max(t, earliest_free)``) and complete after their
+    service time -- an M/G/k service station.  This is how a multi-core
+    node's thread pool is represented (paper Section III-A: workers and
+    servers execute up to ``k`` parallel threads).
+    """
+
+    def __init__(self, clock: SimClock, threads: int):
+        if threads < 1:
+            raise ValueError("need at least one thread")
+        self.clock = clock
+        self.threads = threads
+        self._free: list[float] = [0.0] * threads
+        heapq.heapify(self._free)
+        self.busy_time = 0.0
+        self.jobs = 0
+
+    def submit(
+        self, service_time: float, done: Callable[[], None]
+    ) -> float:
+        """Enqueue a job; ``done`` fires at completion.  Returns finish time."""
+        if service_time < 0:
+            raise ValueError("negative service time")
+        earliest = heapq.heappop(self._free)
+        start = max(self.clock.now, earliest)
+        finish = start + service_time
+        heapq.heappush(self._free, finish)
+        self.busy_time += service_time
+        self.jobs += 1
+        self.clock.at(finish, done)
+        return finish
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of thread-time spent busy over ``horizon`` seconds."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (horizon * self.threads))
+
+    @property
+    def backlog(self) -> float:
+        """Seconds until the most loaded thread frees up."""
+        return max(0.0, max(self._free) - self.clock.now)

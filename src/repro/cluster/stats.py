@@ -1,0 +1,117 @@
+"""Cluster-level metrics: throughput, latency, balance, and balancing ops.
+
+Collects exactly what the paper's figures report: per-operation
+latencies split by kind and coverage band (Figs 7b, 8b, 9a), completed
+operation counts over virtual time (throughput, Figs 7a, 8a), shards
+searched per query (Fig 9b), per-worker data sizes over time (Fig 6),
+and cumulative split/migration counts (Fig 6, right axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["OpRecord", "ClusterStats"]
+
+
+@dataclass
+class OpRecord:
+    kind: str  # "insert" | "query"
+    submit_time: float
+    complete_time: float
+    coverage: float = float("nan")
+    shards_searched: int = 0
+    result_count: int = 0
+
+    @property
+    def latency(self) -> float:
+        return self.complete_time - self.submit_time
+
+
+class ClusterStats:
+    """Accumulates operation records and system snapshots."""
+
+    def __init__(self) -> None:
+        self.ops: list[OpRecord] = []
+        self.splits = 0
+        self.migrations = 0
+        #: (time, {worker_id: item_count}) snapshots for Fig 6
+        self.worker_sizes: list[tuple[float, dict[int, int]]] = []
+        #: (time, kind) of balancing operations
+        self.balance_events: list[tuple[float, str]] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def record_op(self, rec: OpRecord) -> None:
+        self.ops.append(rec)
+
+    def record_split(self, time: float) -> None:
+        self.splits += 1
+        self.balance_events.append((time, "split"))
+
+    def record_migration(self, time: float) -> None:
+        self.migrations += 1
+        self.balance_events.append((time, "migration"))
+
+    def snapshot_workers(self, time: float, sizes: dict[int, int]) -> None:
+        self.worker_sizes.append((time, dict(sizes)))
+
+    # -- analysis -----------------------------------------------------------
+
+    def select(
+        self,
+        kind: Optional[str] = None,
+        coverage_band: Optional[tuple[float, float]] = None,
+        since: float = 0.0,
+        until: float = float("inf"),
+    ) -> list[OpRecord]:
+        out = []
+        for r in self.ops:
+            if kind is not None and r.kind != kind:
+                continue
+            if coverage_band is not None and not (
+                coverage_band[0] <= r.coverage <= coverage_band[1]
+            ):
+                continue
+            if not (since <= r.submit_time <= until):
+                continue
+            out.append(r)
+        return out
+
+    def throughput(self, records: list[OpRecord]) -> float:
+        """Completed operations per virtual second."""
+        if not records:
+            return 0.0
+        t0 = min(r.submit_time for r in records)
+        t1 = max(r.complete_time for r in records)
+        span = t1 - t0
+        return len(records) / span if span > 0 else float("inf")
+
+    def latency_stats(self, records: list[OpRecord]) -> dict[str, float]:
+        if not records:
+            return {"mean": float("nan"), "p50": float("nan"), "p95": float("nan")}
+        lat = np.array([r.latency for r in records])
+        return {
+            "mean": float(lat.mean()),
+            "p50": float(np.percentile(lat, 50)),
+            "p95": float(np.percentile(lat, 95)),
+            "max": float(lat.max()),
+        }
+
+    def balance_series(self) -> list[tuple[float, int, int, int]]:
+        """(time, min_size, max_size, migrations_so_far) rows for Fig 6."""
+        out = []
+        mig = 0
+        events = sorted(self.balance_events)
+        ei = 0
+        for t, sizes in self.worker_sizes:
+            while ei < len(events) and events[ei][0] <= t:
+                if events[ei][1] == "migration":
+                    mig += 1
+                ei += 1
+            if sizes:
+                out.append((t, min(sizes.values()), max(sizes.values()), mig))
+        return out

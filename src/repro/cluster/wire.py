@@ -1,0 +1,38 @@
+"""Wire encoding of shard bounding keys (MBR boxes or MDS interval sets).
+
+The system image in Zookeeper stores, per shard, its bounding key --
+"represented by either a Minimum Bounding Rectangle (MBR, one box) or
+Minimum Describing Subset (MDS, multiple boxes)" (paper Section III-A).
+Both kinds serialise to plain tuples so they survive the Zookeeper
+stand-in and message payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..olap.keys import Box
+from ..olap.mds import MDS
+
+__all__ = ["key_to_wire", "key_from_wire", "BoundingKey"]
+
+BoundingKey = Union[Box, MDS]
+
+
+def key_to_wire(key: BoundingKey) -> tuple:
+    """Encode a bounding key with a kind tag."""
+    if isinstance(key, Box):
+        return ("mbr", key.to_tuple())
+    if isinstance(key, MDS):
+        return ("mds", key.to_tuple(), key.max_intervals)
+    raise TypeError(f"not a bounding key: {type(key)!r}")
+
+
+def key_from_wire(wire: tuple) -> BoundingKey:
+    """Decode a bounding key produced by :func:`key_to_wire`."""
+    kind = wire[0]
+    if kind == "mbr":
+        return Box.from_tuple(wire[1])
+    if kind == "mds":
+        return MDS([list(ivs) for ivs in wire[1]], max_intervals=wire[2])
+    raise ValueError(f"unknown key kind {kind!r}")

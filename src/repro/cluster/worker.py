@@ -1,0 +1,373 @@
+"""Worker nodes: shard storage and the split/migration protocol.
+
+Paper Sections III-A and III-E.  A worker stores several shards (each a
+Hilbert PDC tree by default), executes insert and aggregate-query
+operations against them on a simulated ``k``-thread pool, and supports
+the load balancer's operations:
+
+* ``split_shard`` -- SplitQuery to find a balancing hyperplane, Split to
+  partition the shard, a *mapping table* entry so in-flight operations
+  addressed to the old shard reach its children, and an *insertion
+  queue* absorbing new items while the split runs (queried alongside
+  the shard, so query processing is never interrupted);
+* ``migrate_shard`` -- SerializeShard, network transfer (latency paid by
+  blob size), DeserializeShard at the destination, queue hand-off, and
+  a Zookeeper update that re-points servers at the new owner.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.aggregates import Aggregate
+from ..core.base import Hyperplane, ShardStore
+from ..core.config import OpStats, TreeConfig
+from ..core.hilbert_trees import HilbertPDCTree
+from ..olap.keys import Box
+from ..olap.records import RecordBatch, concat_batches
+from ..olap.schema import Schema
+from .cost import CostModel
+from .simclock import ServicePool, SimClock
+from .wire import key_to_wire
+from .transport import Entity, Message, Transport
+from .zookeeper import Zookeeper
+
+__all__ = ["Worker"]
+
+
+class Worker(Entity):
+    """One worker node of the VOLAP cluster."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        clock: SimClock,
+        transport: Transport,
+        zk: Zookeeper,
+        schema: Schema,
+        tree_config: Optional[TreeConfig] = None,
+        threads: int = 8,
+        cost: Optional[CostModel] = None,
+        store_cls: type[ShardStore] = HilbertPDCTree,
+    ):
+        self.worker_id = worker_id
+        self.name = f"worker-{worker_id}"
+        self.clock = clock
+        self.transport = transport
+        self.zk = zk
+        self.schema = schema
+        self.tree_config = tree_config if tree_config is not None else TreeConfig()
+        self.pool = ServicePool(clock, threads)
+        self.cost = cost if cost is not None else CostModel()
+        self.store_cls = store_cls
+        self.shards: dict[int, ShardStore] = {}
+        #: per-shard insertion queues, live while a split/migration runs
+        self.queues: dict[int, ShardStore] = {}
+        #: mapping table: old shard id -> (hyperplane, low id, high id)
+        self.mapping: dict[int, tuple[Hyperplane, int, int]] = {}
+        self.frozen: set[int] = set()
+        self.inserts_done = 0
+        self.queries_done = 0
+
+    # -- sizes ------------------------------------------------------------
+
+    def total_items(self) -> int:
+        return sum(len(s) for s in self.shards.values()) + sum(
+            len(q) for q in self.queues.values()
+        )
+
+    def publish_stats(self) -> None:
+        """Push per-shard and total sizes to Zookeeper (paper III-B)."""
+        self.zk.set(
+            f"/stats/workers/{self.worker_id}",
+            {
+                "items": self.total_items(),
+                "shards": {sid: len(s) for sid, s in self.shards.items()},
+                "backlog": self.pool.backlog,
+            },
+        )
+
+    # -- shard id resolution through the mapping table -----------------------
+
+    def _resolve_insert(self, shard_id: int, coords: np.ndarray) -> int:
+        while shard_id in self.mapping:
+            plane, low, high = self.mapping[shard_id]
+            shard_id = low if coords[plane.dim] <= plane.value else high
+        return shard_id
+
+    def _resolve_query(self, shard_id: int) -> list[int]:
+        if shard_id in self.mapping:
+            _, low, high = self.mapping[shard_id]
+            return self._resolve_query(low) + self._resolve_query(high)
+        return [shard_id]
+
+    # -- message handling ----------------------------------------------------
+
+    def receive(self, msg: Message) -> None:
+        handler = getattr(self, f"_on_{msg.kind}", None)
+        if handler is None:
+            raise ValueError(f"{self.name}: unknown message {msg.kind!r}")
+        handler(msg)
+
+    # insert ------------------------------------------------------------
+
+    def _on_insert(self, msg: Message) -> None:
+        shard_id, coords, measure, token, reply_to = msg.payload
+        sid = self._resolve_insert(shard_id, coords)
+        if sid in self.frozen:
+            stats = self.queues[sid].insert(coords, measure)
+        elif sid in self.shards:
+            stats = self.shards[sid].insert(coords, measure)
+        else:
+            # Shard moved away entirely; a stale route. Reject so the
+            # server can retry against its refreshed image.
+            self.transport.send(
+                reply_to, Message("insert_nack", (token, shard_id))
+            )
+            return
+        self.inserts_done += 1
+        service = self.cost.insert_time(stats)
+        self.pool.submit(
+            service,
+            lambda: self.transport.send(
+                reply_to, Message("insert_ack", (token, self.worker_id))
+            ),
+        )
+
+    def _on_bulk_insert(self, msg: Message) -> None:
+        shard_id, batch, token, reply_to = msg.payload
+        # split rows among mapped children if necessary
+        groups: dict[int, list[int]] = {}
+        for i in range(len(batch)):
+            sid = self._resolve_insert(shard_id, batch.coords[i])
+            groups.setdefault(sid, []).append(i)
+        for sid, rows in groups.items():
+            sub = batch.take(np.array(rows))
+            target = (
+                self.queues[sid]
+                if sid in self.frozen
+                else self.shards.get(sid)
+            )
+            if target is None:
+                continue
+            self._bulk_into(sid, target, sub, frozen=sid in self.frozen)
+        self.inserts_done += len(batch)
+        service = self.cost.bulk_time(len(batch))
+        self.pool.submit(
+            service,
+            lambda: self.transport.send(
+                reply_to, Message("bulk_ack", (token, self.worker_id))
+            ),
+        )
+
+    def _bulk_into(
+        self, sid: int, store: ShardStore, batch: RecordBatch, frozen: bool
+    ) -> None:
+        """Vectorised merge for big batches, point inserts for small ones."""
+        if len(batch) > max(64, len(store) // 4) and not frozen:
+            merged = concat_batches(
+                [store.items(), batch], self.schema.num_dims
+            )
+            self.shards[sid] = self.store_cls.from_batch(
+                self.schema, merged, self.tree_config
+            )
+        else:
+            for coords, m in batch.iter_rows():
+                store.insert(coords, m)
+
+    # query ---------------------------------------------------------------
+
+    def _on_query(self, msg: Message) -> None:
+        token, shard_ids, box_t, reply_to = msg.payload
+        box = Box.from_tuple(box_t)
+        agg = Aggregate.empty()
+        total_stats = OpStats()
+        searched = 0
+        for requested in shard_ids:
+            for sid in self._resolve_query(requested):
+                store = self.shards.get(sid)
+                if store is not None:
+                    sub, stats = store.query(box)
+                    agg.merge(sub)
+                    total_stats.merge(stats)
+                    searched += 1
+                queue = self.queues.get(sid)
+                if queue is not None and len(queue):
+                    sub, stats = queue.query(box)
+                    agg.merge(sub)
+                    total_stats.merge(stats)
+        self.queries_done += 1
+        service = self.cost.query_time(total_stats)
+        self.pool.submit(
+            service,
+            lambda: self.transport.send(
+                reply_to,
+                Message(
+                    "query_result",
+                    (token, agg.to_tuple(), searched, self.worker_id),
+                ),
+            ),
+        )
+
+    # split (manager-initiated) ------------------------------------------
+
+    def _on_split_shard(self, msg: Message) -> None:
+        shard_id, new_low, new_high, reply_to = msg.payload
+        store = self.shards.get(shard_id)
+        if store is None or shard_id in self.frozen or len(store) < 2:
+            self.transport.send(
+                reply_to, Message("split_failed", (shard_id, self.worker_id))
+            )
+            return
+        # Freeze: new inserts go to the insertion queue; queries keep
+        # hitting the shard plus the queue.
+        self.frozen.add(shard_id)
+        self.queues[shard_id] = self.store_cls(self.schema, self.tree_config)
+        try:
+            plane = store.split_query()
+        except ValueError:
+            self.frozen.discard(shard_id)
+            self._drain_queue_into(shard_id, store)
+            del self.queues[shard_id]
+            self.transport.send(
+                reply_to, Message("split_failed", (shard_id, self.worker_id))
+            )
+            return
+        service = self.cost.split_time(len(store))
+
+        def finish() -> None:
+            low, high = store.split(plane)
+            self.shards[new_low] = low
+            self.shards[new_high] = high
+            self.mapping[shard_id] = (plane, new_low, new_high)
+            del self.shards[shard_id]
+            # drain the queue through the mapping (reaches the children)
+            queue = self.queues.pop(shard_id)
+            self.frozen.discard(shard_id)
+            for coords, m in queue.items().iter_rows():
+                sid = self._resolve_insert(shard_id, coords)
+                self.shards[sid].insert(coords, m)
+            self._publish_shard(new_low)
+            self._publish_shard(new_high)
+            self.zk.delete(f"/shards/{shard_id}")
+            self.transport.send(
+                reply_to,
+                Message(
+                    "split_done",
+                    (shard_id, new_low, new_high, self.worker_id),
+                ),
+            )
+
+        self.pool.submit(service, finish)
+
+    def _drain_queue_into(self, shard_id: int, store: ShardStore) -> None:
+        queue = self.queues.get(shard_id)
+        if queue is None:
+            return
+        for coords, m in queue.items().iter_rows():
+            store.insert(coords, m)
+
+    # migration --------------------------------------------------------------
+
+    def _on_migrate_shard(self, msg: Message) -> None:
+        shard_id, dst, reply_to = msg.payload  # dst is a Worker entity
+        store = self.shards.get(shard_id)
+        if store is None or shard_id in self.frozen:
+            self.transport.send(
+                reply_to, Message("migrate_failed", (shard_id, self.worker_id))
+            )
+            return
+        self.frozen.add(shard_id)
+        self.queues[shard_id] = self.store_cls(self.schema, self.tree_config)
+        blob = store.serialize()
+        service = self.cost.serialize_time(len(store))
+
+        def send_blob() -> None:
+            self.transport.send(
+                dst,
+                Message(
+                    "migrate_in",
+                    (shard_id, blob, self, reply_to),
+                    size=len(blob),
+                ),
+            )
+
+        self.pool.submit(service, send_blob)
+
+    def _on_migrate_in(self, msg: Message) -> None:
+        shard_id, blob, src, reply_to = msg.payload
+        store = self.store_cls.deserialize(self.schema, blob, self.tree_config)
+        service = self.cost.deserialize_time(len(store))
+
+        def ready() -> None:
+            self.shards[shard_id] = store
+            self.transport.send(
+                src, Message("migrate_ready", (shard_id, self, reply_to))
+            )
+
+        self.pool.submit(service, ready)
+
+    def _on_migrate_ready(self, msg: Message) -> None:
+        shard_id, dst, reply_to = msg.payload
+        # Hand off anything queued during the transfer, then cut over.
+        queue = self.queues.pop(shard_id, None)
+        self.frozen.discard(shard_id)
+        old = self.shards.pop(shard_id, None)
+        if queue is not None and len(queue):
+            self.transport.send(
+                dst,
+                Message(
+                    "queue_transfer",
+                    (shard_id, queue.items(), dst),
+                    size=len(queue) * 72,
+                ),
+            )
+        info_key = (
+            old.bounding_key()
+            if old is not None
+            else Box.empty(self.schema.num_dims)
+        )
+        self.zk.set(
+            f"/shards/{shard_id}",
+            (
+                shard_id,
+                key_to_wire(info_key),
+                dst.worker_id,
+                len(old) if old is not None else 0,
+            ),
+        )
+        self.transport.send(
+            reply_to,
+            Message(
+                "migrate_done", (shard_id, self.worker_id, dst.worker_id)
+            ),
+        )
+
+    def _on_queue_transfer(self, msg: Message) -> None:
+        shard_id, batch, _ = msg.payload
+        store = self.shards.get(shard_id)
+        if store is None:  # pragma: no cover - defensive
+            return
+        for coords, m in batch.iter_rows():
+            store.insert(coords, m)
+
+    # -- zookeeper helpers -----------------------------------------------------
+
+    def _publish_shard(self, shard_id: int) -> None:
+        store = self.shards[shard_id]
+        self.zk.set(
+            f"/shards/{shard_id}",
+            (
+                shard_id,
+                key_to_wire(store.bounding_key()),
+                self.worker_id,
+                len(store),
+            ),
+        )
+
+    def install_shard(self, shard_id: int, store: ShardStore) -> None:
+        """Bootstrap helper: place a pre-built shard on this worker."""
+        self.shards[shard_id] = store
+        self._publish_shard(shard_id)

@@ -1,0 +1,144 @@
+"""Zookeeper stand-in: a versioned znode store with watches.
+
+VOLAP keeps the *system image* -- worker/server membership, per-shard
+size, bounding box and owning worker -- in Zookeeper, and servers rely
+on its watch facility to learn about changes "without wasteful polling"
+(paper Section III-B).  This in-process model reproduces the parts the
+experiments depend on:
+
+* hierarchical paths with versioned data,
+* atomic read/write with simulated request latency,
+* one-shot-free persistent watches that notify subscribers after a
+  notification delay (watch events are what bounds cross-server
+  staleness, so their timing matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .simclock import SimClock
+
+__all__ = ["ZNode", "Zookeeper"]
+
+
+@dataclass
+class ZNode:
+    data: Any = None
+    version: int = 0
+    children: dict[str, "ZNode"] = field(default_factory=dict)
+
+
+class Zookeeper:
+    """In-process coordination service with simulated latencies."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        request_latency: float = 500e-6,
+        notify_latency: float = 1e-3,
+    ):
+        self.clock = clock
+        self.request_latency = request_latency
+        self.notify_latency = notify_latency
+        self.root = ZNode()
+        # watch registrations: path prefix -> list of callbacks(path, data)
+        self._watches: dict[str, list[Callable[[str, Any], None]]] = {}
+        self.writes = 0
+        self.reads = 0
+        self.notifications = 0
+
+    # -- path helpers -----------------------------------------------------
+
+    @staticmethod
+    def _parts(path: str) -> list[str]:
+        if not path.startswith("/"):
+            raise ValueError(f"path must be absolute: {path!r}")
+        return [p for p in path.split("/") if p]
+
+    def _find(self, path: str, create: bool = False) -> Optional[ZNode]:
+        node = self.root
+        for part in self._parts(path):
+            if part not in node.children:
+                if not create:
+                    return None
+                node.children[part] = ZNode()
+            node = node.children[part]
+        return node
+
+    # -- synchronous core (no latency; used internally and in tests) --------
+
+    def set(self, path: str, data: Any) -> int:
+        """Write ``data`` at ``path`` (creating it); returns new version."""
+        node = self._find(path, create=True)
+        node.data = data
+        node.version += 1
+        self.writes += 1
+        self._fire_watches(path, data)
+        return node.version
+
+    def get(self, path: str) -> Any:
+        self.reads += 1
+        node = self._find(path)
+        return None if node is None else node.data
+
+    def exists(self, path: str) -> bool:
+        return self._find(path) is not None
+
+    def version(self, path: str) -> int:
+        node = self._find(path)
+        return 0 if node is None else node.version
+
+    def ls(self, path: str) -> list[str]:
+        node = self._find(path)
+        return sorted(node.children) if node is not None else []
+
+    def delete(self, path: str) -> bool:
+        parts = self._parts(path)
+        node = self.root
+        for part in parts[:-1]:
+            node = node.children.get(part)
+            if node is None:
+                return False
+        existed = parts[-1] in node.children
+        node.children.pop(parts[-1], None)
+        if existed:
+            self._fire_watches(path, None)
+        return existed
+
+    # -- watches ---------------------------------------------------------
+
+    def watch(self, prefix: str, callback: Callable[[str, Any], None]) -> None:
+        """Subscribe to changes under ``prefix`` (persistent watch).
+
+        Callbacks fire ``notify_latency`` after the change, mirroring the
+        asynchronous delivery of Zookeeper watch events.
+        """
+        self._watches.setdefault(prefix, []).append(callback)
+
+    def _fire_watches(self, path: str, data: Any) -> None:
+        for prefix, callbacks in self._watches.items():
+            if path.startswith(prefix):
+                for cb in callbacks:
+                    self.notifications += 1
+                    self.clock.after(
+                        self.notify_latency, lambda cb=cb: cb(path, data)
+                    )
+
+    # -- asynchronous API (simulated request latency) -----------------------
+
+    def aset(self, path: str, data: Any, done: Optional[Callable[[int], None]] = None) -> None:
+        """Write after the request latency; ``done`` gets the new version."""
+
+        def apply() -> None:
+            v = self.set(path, data)
+            if done is not None:
+                done(v)
+
+        self.clock.after(self.request_latency, apply)
+
+    def aget(self, path: str, done: Callable[[Any], None]) -> None:
+        self.clock.after(
+            self.request_latency, lambda: done(self.get(path))
+        )

@@ -1,0 +1,29 @@
+"""Shard data structures: the Hilbert PDC tree and its baselines.
+
+Five stores, as in the paper (Section III-D): a flat array, PDC tree and
+Hilbert PDC tree (each in MDS and MBR key flavours via ``TreeConfig``),
+plus classic and Hilbert R-trees as Figure-5 baselines.
+"""
+
+from .aggregates import Aggregate
+from .array_store import ArrayStore
+from .base import BaseTree, Hyperplane, ShardStore
+from .config import OpStats, TreeConfig
+from .geometric import GeometricTree, PDCTree, RTree
+from .hilbert_trees import HilbertPDCTree, HilbertRTree, HilbertTree
+
+__all__ = [
+    "Aggregate",
+    "ArrayStore",
+    "BaseTree",
+    "GeometricTree",
+    "HilbertPDCTree",
+    "HilbertRTree",
+    "HilbertTree",
+    "Hyperplane",
+    "OpStats",
+    "PDCTree",
+    "RTree",
+    "ShardStore",
+    "TreeConfig",
+]

@@ -1,0 +1,101 @@
+"""Aggregate measure values cached at tree nodes.
+
+Every directory node of a PDC/Hilbert-PDC tree stores the aggregate of
+its entire subtree (paper Sections III-D, IV-A): queries whose box fully
+covers a node's key consume the cached value and stop descending, which
+is what makes large-coverage aggregations cheap ("coverage resilience").
+
+The aggregate is a distributive bundle (count, sum, min, max); mean is
+derived.  All combinators are associative and commutative, so caching at
+internal nodes is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Aggregate"]
+
+
+@dataclass
+class Aggregate:
+    """Distributive aggregate of a set of measures."""
+
+    count: int = 0
+    total: float = 0.0
+    vmin: float = float("inf")
+    vmax: float = float("-inf")
+
+    @staticmethod
+    def empty() -> "Aggregate":
+        return Aggregate()
+
+    @staticmethod
+    def of_value(measure: float) -> "Aggregate":
+        return Aggregate(1, measure, measure, measure)
+
+    @staticmethod
+    def of_array(measures: np.ndarray) -> "Aggregate":
+        """Aggregate of a numpy array of measures (vectorised)."""
+        n = int(measures.shape[0])
+        if n == 0:
+            return Aggregate()
+        return Aggregate(
+            n,
+            float(measures.sum()),
+            float(measures.min()),
+            float(measures.max()),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of empty aggregate")
+        return self.total / self.count
+
+    def add_value(self, measure: float) -> None:
+        self.count += 1
+        self.total += measure
+        if measure < self.vmin:
+            self.vmin = measure
+        if measure > self.vmax:
+            self.vmax = measure
+
+    def merge(self, other: "Aggregate") -> None:
+        """In-place combination with another aggregate."""
+        self.count += other.count
+        self.total += other.total
+        if other.vmin < self.vmin:
+            self.vmin = other.vmin
+        if other.vmax > self.vmax:
+            self.vmax = other.vmax
+
+    def merged(self, other: "Aggregate") -> "Aggregate":
+        out = Aggregate(self.count, self.total, self.vmin, self.vmax)
+        out.merge(other)
+        return out
+
+    def copy(self) -> "Aggregate":
+        return Aggregate(self.count, self.total, self.vmin, self.vmax)
+
+    def approx_equal(self, other: "Aggregate", rel: float = 1e-9) -> bool:
+        """Equality tolerant of floating point summation order."""
+        if self.count != other.count:
+            return False
+        if self.count == 0:
+            return True
+        scale = max(abs(self.total), abs(other.total), 1.0)
+        return (
+            abs(self.total - other.total) <= rel * scale
+            and self.vmin == other.vmin
+            and self.vmax == other.vmax
+        )
+
+    def to_tuple(self) -> tuple[int, float, float, float]:
+        return (self.count, self.total, self.vmin, self.vmax)

@@ -1,0 +1,329 @@
+"""Shared machinery for all shard data structures.
+
+Defines the :class:`ShardStore` interface every shard implementation
+satisfies (insert, query, and the load-balancing operations of paper
+Section III-E: ``SplitQuery``, ``Split``, ``SerializeShard``), plus
+:class:`BaseTree`, the common query/validation/serialisation code for
+the four tree variants.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..olap.keys import Box
+from ..olap.records import RecordBatch
+from ..olap.schema import Schema
+from .aggregates import Aggregate
+from .config import OpStats, TreeConfig
+from .keypolicy import make_policy
+from .node import Node
+
+__all__ = ["ShardStore", "BaseTree", "Hyperplane"]
+
+
+class Hyperplane:
+    """An axis-aligned splitting plane: ``dim``, threshold ``value``.
+
+    Items with ``coords[dim] <= value`` fall on the low side.  Returned
+    by ``SplitQuery`` and consumed by ``Split`` (paper Section III-E).
+    """
+
+    __slots__ = ("dim", "value")
+
+    def __init__(self, dim: int, value: int):
+        self.dim = int(dim)
+        self.value = int(value)
+
+    def side_mask(self, coords: np.ndarray) -> np.ndarray:
+        """Boolean mask of items on the low side."""
+        return coords[:, self.dim] <= self.value
+
+    def to_tuple(self) -> tuple[int, int]:
+        return (self.dim, self.value)
+
+    @staticmethod
+    def from_tuple(t: tuple[int, int]) -> "Hyperplane":
+        return Hyperplane(t[0], t[1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Hyperplane(dim={self.dim}, value={self.value})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Hyperplane)
+            and self.dim == other.dim
+            and self.value == other.value
+        )
+
+
+class ShardStore(ABC):
+    """Interface satisfied by every shard data structure."""
+
+    schema: Schema
+    config: TreeConfig
+
+    @abstractmethod
+    def insert(self, coords: np.ndarray, measure: float) -> OpStats:
+        """Insert one item; returns the work counters for the operation."""
+
+    @abstractmethod
+    def query(self, box: Box) -> tuple[Aggregate, OpStats]:
+        """Aggregate every item inside ``box``."""
+
+    @abstractmethod
+    def items(self) -> RecordBatch:
+        """All stored items (order unspecified)."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def mbr(self) -> Box:
+        """Bounding box of the stored data (empty box when empty)."""
+
+    def bounding_key(self):
+        """Bounding key of the stored data: the store's native key kind
+        (MDS for MDS-keyed trees, a Box otherwise).  Paper Section
+        III-A: a shard's bounding box is "either a Minimum Bounding
+        Rectangle (MBR, one box) or Minimum Describing Subset (MDS,
+        multiple boxes)"."""
+        return self.mbr()
+
+    # -- load balancing support (paper Section III-E) -----------------------
+
+    def split_query(self) -> Hyperplane:
+        """Find a hyperplane partitioning the data into ~equal halves."""
+        batch = self.items()
+        if len(batch) < 2:
+            raise ValueError("cannot split a shard with fewer than 2 items")
+        box = self.mbr()
+        extents = box.side_lengths()
+        # Prefer the dimension with the widest extent; fall back to any
+        # dimension where a proper two-sided split exists.
+        for dim in np.argsort(-extents):
+            col = batch.coords[:, dim]
+            value = int(np.median(col))
+            low = int((col <= value).sum())
+            if 0 < low < len(batch):
+                return Hyperplane(int(dim), value)
+            # median may sit at the max; try just below it
+            value = int(np.partition(col, len(col) // 2)[len(col) // 2]) - 1
+            low = int((col <= value).sum())
+            if 0 < low < len(batch):
+                return Hyperplane(int(dim), value)
+        raise ValueError("shard data is a single point; cannot split")
+
+    def split(self, plane: Hyperplane) -> tuple["ShardStore", "ShardStore"]:
+        """Partition into two stores separated by ``plane``."""
+        batch = self.items()
+        mask = plane.side_mask(batch.coords)
+        low = batch.take(np.where(mask)[0])
+        high = batch.take(np.where(~mask)[0])
+        return (
+            type(self).from_batch(self.schema, low, self.config),
+            type(self).from_batch(self.schema, high, self.config),
+        )
+
+    def serialize(self) -> bytes:
+        """Flat binary blob of the shard contents (paper SerializeShard)."""
+        return self.items().to_bytes()
+
+    @classmethod
+    def deserialize(
+        cls, schema: Schema, blob: bytes, config: TreeConfig
+    ) -> "ShardStore":
+        return cls.from_batch(schema, RecordBatch.from_bytes(blob), config)
+
+    @classmethod
+    @abstractmethod
+    def from_batch(
+        cls, schema: Schema, batch: RecordBatch, config: TreeConfig
+    ) -> "ShardStore":
+        """Build a store from a record batch (bulk load)."""
+
+
+class BaseTree(ShardStore):
+    """Common structure and query path of the four tree variants."""
+
+    def __init__(self, schema: Schema, config: Optional[TreeConfig] = None):
+        self.schema = schema
+        self.config = config if config is not None else self._default_config()
+        self.policy = make_policy(self.config.key_kind, self.config.mds_max_intervals)
+        self.num_dims = schema.num_dims
+        self.root = self._new_leaf()
+        self._count = 0
+
+    # subclasses override to pick their canonical defaults
+    @staticmethod
+    def _default_config() -> TreeConfig:
+        return TreeConfig()
+
+    @property
+    def uses_hilbert(self) -> bool:
+        return False
+
+    def _new_leaf(self) -> Node:
+        return Node(
+            self.policy.empty(self.num_dims),
+            leaf=True,
+            capacity=self.config.leaf_capacity + 1,
+            num_dims=self.num_dims,
+            with_hkeys=self.uses_hilbert,
+            thread_safe=self.config.thread_safe,
+        )
+
+    def _new_dir(self) -> Node:
+        return Node(
+            self.policy.empty(self.num_dims),
+            leaf=False,
+            thread_safe=self.config.thread_safe,
+        )
+
+    def __len__(self) -> int:
+        return self._count
+
+    def mbr(self) -> Box:
+        if self._count == 0:
+            return Box.empty(self.num_dims)
+        return self.policy.mbr(self.root.key)
+
+    def bounding_key(self):
+        if self._count == 0:
+            return self.policy.empty(self.num_dims)
+        return self.policy.copy(self.root.key)
+
+    # -- query -----------------------------------------------------------
+
+    def query(self, box: Box) -> tuple[Aggregate, OpStats]:
+        stats = OpStats()
+        agg = Aggregate.empty()
+        if self._count:
+            self._query_node(self.root, box, agg, stats)
+        return agg, stats
+
+    def _query_node(
+        self, node: Node, box: Box, agg: Aggregate, stats: OpStats
+    ) -> None:
+        stats.nodes_visited += 1
+        node.acquire()
+        try:
+            if self.config.cache_aggregates and self.policy.within_box(
+                node.key, box
+            ):
+                agg.merge(node.agg)
+                stats.agg_hits += 1
+                return
+            if node.is_leaf:
+                stats.leaves_visited += 1
+                stats.items_scanned += node.size
+                mask = box.contains_points(node.leaf_coords())
+                if mask.any():
+                    agg.merge(Aggregate.of_array(node.leaf_measures()[mask]))
+                return
+            children = [
+                c
+                for c in node.children
+                if self.policy.intersects_box(c.key, box)
+            ]
+        finally:
+            node.release()
+        for child in children:
+            self._query_node(child, box, agg, stats)
+
+    # -- enumeration -------------------------------------------------------
+
+    def items(self) -> RecordBatch:
+        coords = []
+        measures = []
+        for leaf in self._iter_leaves(self.root):
+            coords.append(leaf.leaf_coords().copy())
+            measures.append(leaf.leaf_measures().copy())
+        if not coords:
+            return RecordBatch.empty(self.num_dims)
+        return RecordBatch(
+            np.concatenate(coords, axis=0), np.concatenate(measures)
+        )
+
+    def _iter_leaves(self, node: Node) -> Iterator[Node]:
+        if node.is_leaf:
+            yield node
+        else:
+            for c in node.children:
+                yield from self._iter_leaves(c)
+
+    # -- statistics ---------------------------------------------------------
+
+    def depth(self) -> int:
+        d = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            d += 1
+        return d
+
+    def node_count(self) -> int:
+        def rec(n: Node) -> int:
+            if n.is_leaf:
+                return 1
+            return 1 + sum(rec(c) for c in n.children)
+
+        return rec(self.root)
+
+    # -- invariants (used by tests) ---------------------------------------
+
+    def validate(self) -> None:
+        """Assert structural invariants; raises AssertionError on violation.
+
+        The load-bearing key invariant is that every node's key covers
+        every *item* in its subtree (this is what query pruning relies
+        on).  With MBR keys the stronger "parent key covers child key"
+        also holds and is checked; with MDS keys it need not hold,
+        because each node coalesces its interval set independently.
+        """
+        total, _ = self._validate_node(self.root, is_root=True)
+        assert total == self._count, f"count mismatch {total} != {self._count}"
+
+    def _validate_node(
+        self, node: Node, is_root: bool = False
+    ) -> tuple[int, list[np.ndarray]]:
+        if node.is_leaf:
+            assert node.size <= self.config.leaf_capacity, "leaf over capacity"
+            agg = Aggregate.of_array(node.leaf_measures())
+            assert node.agg.approx_equal(agg), "leaf aggregate mismatch"
+            for row in node.leaf_coords():
+                assert self.policy.covers_point(node.key, row), (
+                    "leaf key does not cover item"
+                )
+            if node.hkeys is not None and node.size:
+                assert node.lhv == max(node.hkeys[: node.size]), "leaf LHV wrong"
+            return node.size, [node.leaf_coords()]
+        assert len(node.children) <= self.config.fanout, "dir over fanout"
+        if not is_root:
+            assert len(node.children) >= 1, "empty directory node"
+        total = 0
+        coords_parts: list[np.ndarray] = []
+        agg = Aggregate.empty()
+        for child in node.children:
+            n, parts = self._validate_node(child)
+            total += n
+            coords_parts.extend(parts)
+            agg.merge(child.agg)
+            if self.policy.kind == "mbr":
+                assert self.policy.covers(node.key, child.key), (
+                    "parent MBR does not cover child MBR"
+                )
+        assert node.agg.approx_equal(agg), "directory aggregate mismatch"
+        for part in coords_parts:
+            for row in part:
+                assert self.policy.covers_point(node.key, row), (
+                    "node key does not cover subtree item"
+                )
+        if node.children and node.children[0].lhv is not None:
+            lhvs = [c.lhv for c in node.children]
+            assert lhvs == sorted(lhvs), "children not in LHV order"
+            assert node.lhv == max(lhvs), "directory LHV wrong"
+        return total, coords_parts

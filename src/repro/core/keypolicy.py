@@ -1,0 +1,183 @@
+"""Key policies: uniform operations over MBR (Box) and MDS keys.
+
+The tree code is written once against this small strategy interface;
+selecting ``key_kind`` in :class:`~repro.core.config.TreeConfig` decides
+whether nodes carry single-interval boxes or interval-set MDS keys
+(paper Section III-D: each tree variant exists in both flavours).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..olap.keys import Box
+from ..olap.mds import MDS
+
+__all__ = ["KeyPolicy", "MBRPolicy", "MDSPolicy", "make_policy"]
+
+
+class KeyPolicy:
+    """Strategy interface for node keys."""
+
+    kind: str = "abstract"
+
+    def empty(self, num_dims: int) -> Any:
+        raise NotImplementedError
+
+    def from_point(self, coords: np.ndarray) -> Any:
+        raise NotImplementedError
+
+    def expand_point(self, key: Any, coords: np.ndarray) -> bool:
+        """Grow ``key`` to cover a point; return True if it changed."""
+        raise NotImplementedError
+
+    def expand(self, key: Any, other: Any) -> bool:
+        """Grow ``key`` to cover another key; return True if it changed."""
+        raise NotImplementedError
+
+    def intersects_box(self, key: Any, box: Box) -> bool:
+        raise NotImplementedError
+
+    def within_box(self, key: Any, box: Box) -> bool:
+        raise NotImplementedError
+
+    def log_overlap(self, a: Any, b: Any) -> float:
+        """log2 volume of the intersection (-inf when disjoint)."""
+        raise NotImplementedError
+
+    def covers(self, a: Any, b: Any) -> bool:
+        """True if key ``a`` covers key ``b`` entirely (validation aid)."""
+        raise NotImplementedError
+
+    def covers_point(self, key: Any, coords: np.ndarray) -> bool:
+        raise NotImplementedError
+
+    def adopt(self, key: Any) -> Any:
+        """Convert a key of either kind into this policy's native kind
+        (a copy).  Used when a server's local image and the shard trees
+        are configured with different key kinds."""
+        raise NotImplementedError
+
+    def log_volume(self, key: Any) -> float:
+        raise NotImplementedError
+
+    def union_of(self, keys: Iterable[Any], num_dims: int) -> Any:
+        key = self.empty(num_dims)
+        for k in keys:
+            self.expand(key, k)
+        return key
+
+    def mbr(self, key: Any) -> Box:
+        raise NotImplementedError
+
+    def copy(self, key: Any) -> Any:
+        raise NotImplementedError
+
+
+class MBRPolicy(KeyPolicy):
+    """Single-interval-per-dimension keys (classic R-tree boxes)."""
+
+    kind = "mbr"
+
+    def empty(self, num_dims: int) -> Box:
+        return Box.empty(num_dims)
+
+    def from_point(self, coords: np.ndarray) -> Box:
+        return Box.from_point(coords)
+
+    def expand_point(self, key: Box, coords: np.ndarray) -> bool:
+        return key.expand_point_inplace(coords)
+
+    def expand(self, key: Box, other: Box) -> bool:
+        return key.expand_inplace(other)
+
+    def intersects_box(self, key: Box, box: Box) -> bool:
+        return key.intersects(box)
+
+    def within_box(self, key: Box, box: Box) -> bool:
+        return box.contains_box(key) and not key.is_empty()
+
+    def log_overlap(self, a: Box, b: Box) -> float:
+        return a.log_overlap_volume(b)
+
+    def log_volume(self, key: Box) -> float:
+        return key.log_volume()
+
+    def covers(self, a: Box, b: Box) -> bool:
+        return a.contains_box(b)
+
+    def adopt(self, key) -> Box:
+        if isinstance(key, Box):
+            return key.copy()
+        return key.mbr()
+
+    def covers_point(self, key: Box, coords: np.ndarray) -> bool:
+        return key.contains_point(coords)
+
+    def mbr(self, key: Box) -> Box:
+        return key.copy()
+
+    def copy(self, key: Box) -> Box:
+        return key.copy()
+
+
+class MDSPolicy(KeyPolicy):
+    """Interval-set keys (Minimum Describing Subsets)."""
+
+    kind = "mds"
+
+    def __init__(self, max_intervals: int = 4):
+        self.max_intervals = max_intervals
+
+    def empty(self, num_dims: int) -> MDS:
+        return MDS.empty(num_dims, self.max_intervals)
+
+    def from_point(self, coords: np.ndarray) -> MDS:
+        return MDS.from_point(coords, self.max_intervals)
+
+    def expand_point(self, key: MDS, coords: np.ndarray) -> bool:
+        return key.expand_point_inplace(coords)
+
+    def expand(self, key: MDS, other: MDS) -> bool:
+        return key.expand_inplace(other)
+
+    def intersects_box(self, key: MDS, box: Box) -> bool:
+        return key.intersects_box(box)
+
+    def within_box(self, key: MDS, box: Box) -> bool:
+        return key.within_box(box) and not key.is_empty()
+
+    def log_overlap(self, a: MDS, b: MDS) -> float:
+        return a.log_overlap_volume(b)
+
+    def log_volume(self, key: MDS) -> float:
+        return key.log_volume()
+
+    def covers(self, a: MDS, b: MDS) -> bool:
+        return a.covers(b)
+
+    def adopt(self, key) -> MDS:
+        if isinstance(key, MDS):
+            out = key.copy()
+            out.max_intervals = self.max_intervals
+            return out
+        return MDS.from_box(key, self.max_intervals)
+
+    def covers_point(self, key: MDS, coords: np.ndarray) -> bool:
+        return key.covers_point(coords)
+
+    def mbr(self, key: MDS) -> Box:
+        return key.mbr()
+
+    def copy(self, key: MDS) -> MDS:
+        return key.copy()
+
+
+def make_policy(key_kind: str, mds_max_intervals: int = 4) -> KeyPolicy:
+    if key_kind == "mbr":
+        return MBRPolicy()
+    if key_kind == "mds":
+        return MDSPolicy(mds_max_intervals)
+    raise ValueError(f"unknown key kind {key_kind!r}")

@@ -1,0 +1,107 @@
+"""Tree nodes shared by all PDC / Hilbert-PDC / R-tree variants.
+
+A node is either a *leaf* holding item storage (preallocated numpy
+arrays of ``leaf_capacity`` rows) or a *directory* holding a list of
+children.  Every node carries:
+
+* ``key`` -- its bounding key (Box or MDS, per the tree's key policy);
+* ``agg`` -- the cached aggregate of the whole subtree;
+* ``lhv`` -- the largest Hilbert value in the subtree (Hilbert variants
+  only; ``None`` in geometric trees);
+* ``lock`` -- an RLock when the tree is configured thread-safe.
+
+Leaves in Hilbert trees additionally keep the per-item Hilbert keys
+(arbitrary-precision ints, so a plain Python list).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+import numpy as np
+
+from .aggregates import Aggregate
+
+__all__ = ["Node"]
+
+
+class Node:
+    __slots__ = (
+        "key",
+        "agg",
+        "children",
+        "coords",
+        "measures",
+        "hkeys",
+        "size",
+        "lhv",
+        "lock",
+    )
+
+    def __init__(
+        self,
+        key: Any,
+        *,
+        leaf: bool,
+        capacity: int = 0,
+        num_dims: int = 0,
+        with_hkeys: bool = False,
+        thread_safe: bool = False,
+    ):
+        self.key = key
+        self.agg = Aggregate.empty()
+        self.lhv: Optional[int] = None
+        self.lock: Optional[threading.RLock] = (
+            threading.RLock() if thread_safe else None
+        )
+        if leaf:
+            self.children = None
+            self.coords = np.empty((capacity, num_dims), dtype=np.int64)
+            self.measures = np.empty(capacity, dtype=np.float64)
+            self.hkeys: Optional[list[int]] = [] if with_hkeys else None
+            self.size = 0
+        else:
+            self.children: Optional[list["Node"]] = []
+            self.coords = None
+            self.measures = None
+            self.hkeys = None
+            self.size = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    # -- leaf item access -------------------------------------------------
+
+    def leaf_coords(self) -> np.ndarray:
+        """View of the live coordinate rows of a leaf."""
+        return self.coords[: self.size]
+
+    def leaf_measures(self) -> np.ndarray:
+        return self.measures[: self.size]
+
+    def append_item(
+        self, coords: np.ndarray, measure: float, hkey: Optional[int] = None
+    ) -> None:
+        """Append one item to a leaf (caller checks capacity)."""
+        i = self.size
+        self.coords[i] = coords
+        self.measures[i] = measure
+        if self.hkeys is not None:
+            self.hkeys.append(hkey)
+            if self.lhv is None or hkey > self.lhv:
+                self.lhv = hkey
+        self.size = i + 1
+
+    def acquire(self) -> None:
+        if self.lock is not None:
+            self.lock.acquire()
+
+    def release(self) -> None:
+        if self.lock is not None:
+            self.lock.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"dir[{len(self.children)}]"
+        return f"Node({kind}, n={self.agg.count})"

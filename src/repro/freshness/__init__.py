@@ -1,0 +1,5 @@
+"""Query freshness / Probabilistically Bounded Staleness (paper IV-F)."""
+
+from .pbs import LatencyDistribution, PBSResult, PBSSimulator
+
+__all__ = ["LatencyDistribution", "PBSResult", "PBSSimulator"]

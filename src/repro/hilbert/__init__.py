@@ -1,0 +1,18 @@
+"""Hilbert curves and hierarchical-ID expansion (paper Section III-D)."""
+
+from .compact_hilbert import (
+    CompactHilbertCurve,
+    HilbertCurve,
+    gray_code,
+    gray_code_inverse,
+)
+from .id_expansion import HilbertKeyMapper, IdExpansion
+
+__all__ = [
+    "CompactHilbertCurve",
+    "HilbertCurve",
+    "HilbertKeyMapper",
+    "IdExpansion",
+    "gray_code",
+    "gray_code_inverse",
+]

@@ -1,0 +1,308 @@
+"""Compact Hilbert indices for domains with unequal side lengths.
+
+Implements the algorithms of Hamilton & Rau-Chaplin, *Compact Hilbert
+indices: Space-filling curves for domains with unequal side lengths*,
+Information Processing Letters 105(5), 2008 -- the construction VOLAP
+uses to order Hilbert PDC tree keys (paper Section III-D).
+
+Two curves are provided:
+
+* :class:`HilbertCurve` -- the classic Hilbert curve on ``n`` dimensions
+  of ``m`` bits each (Hamilton's formulation of the Butz/Lawder
+  algorithm using Gray codes, entry points and directions).
+* :class:`CompactHilbertCurve` -- per-dimension bit widths
+  ``m_0 .. m_{n-1}``; produces indices of exactly ``sum(m_i)`` bits
+  whose order coincides with the order the full Hilbert curve (with all
+  dimensions padded to ``max(m_i)`` bits) visits the valid sub-domain.
+
+Indices are arbitrary-precision Python ints (total bit counts routinely
+exceed 64 in OLAP schemas).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["HilbertCurve", "CompactHilbertCurve", "gray_code", "gray_code_inverse"]
+
+
+# -- bit primitives ----------------------------------------------------------
+
+
+def gray_code(i: int) -> int:
+    """Binary-reflected Gray code of ``i``."""
+    return i ^ (i >> 1)
+
+
+def gray_code_inverse(g: int) -> int:
+    """Inverse of :func:`gray_code`."""
+    i = g
+    shift = 1
+    while (g >> shift) > 0:
+        i ^= g >> shift
+        shift += 1
+    return i
+
+
+def _rotate_right(x: int, k: int, n: int) -> int:
+    """Rotate the low ``n`` bits of ``x`` right by ``k``."""
+    k %= n
+    if k == 0:
+        return x & ((1 << n) - 1)
+    x &= (1 << n) - 1
+    return ((x >> k) | (x << (n - k))) & ((1 << n) - 1)
+
+
+def _rotate_left(x: int, k: int, n: int) -> int:
+    return _rotate_right(x, n - (k % n), n)
+
+
+def _trailing_set_bits(i: int) -> int:
+    """Number of trailing 1 bits of ``i``."""
+    c = 0
+    while i & 1:
+        c += 1
+        i >>= 1
+    return c
+
+
+def _entry_point(w: int) -> int:
+    """Entry point e(w) of sub-hypercube ``w`` (Hamilton eq. 2.11)."""
+    if w == 0:
+        return 0
+    return gray_code(2 * ((w - 1) // 2))
+
+
+def _direction(w: int, n: int) -> int:
+    """Intra sub-hypercube direction d(w) (Hamilton eq. 2.12)."""
+    if w == 0:
+        return 0
+    if w % 2 == 0:
+        return _trailing_set_bits(w - 1) % n
+    return _trailing_set_bits(w) % n
+
+
+def _transform(e: int, d: int, b: int, n: int) -> int:
+    """T_{(e,d)}(b): map into the canonical sub-hypercube frame."""
+    return _rotate_right(b ^ e, d + 1, n)
+
+
+def _transform_inverse(e: int, d: int, b: int, n: int) -> int:
+    return _rotate_left(b, d + 1, n) ^ e
+
+
+def _gray_code_rank(mu: int, i: int, n: int) -> int:
+    """Rank of ``i`` restricted to the free-bit mask ``mu``.
+
+    Extracts the bits of ``i`` selected by ``mu``, high bit first
+    (Hamilton Algorithm 3, GrayCodeRank).
+    """
+    r = 0
+    for k in range(n - 1, -1, -1):
+        if (mu >> k) & 1:
+            r = (r << 1) | ((i >> k) & 1)
+    return r
+
+
+def _gray_code_rank_inverse(
+    mu: int, pi: int, r: int, n: int, free_bits: int
+) -> tuple[int, int]:
+    """Reconstruct (i, g) from a gray code rank (Hamilton Algorithm 4).
+
+    Given the free-bit mask ``mu``, the fixed-bit pattern ``pi`` and the
+    rank ``r``, returns ``(i, g)`` where ``g = gray_code(i)``, ``i`` has
+    its mu-bits set from ``r`` and its non-mu bits forced so that ``g``
+    matches ``pi`` on the fixed bits.
+    """
+    i = 0
+    g = 0
+    j = free_bits - 1
+    for k in range(n - 1, -1, -1):
+        if (mu >> k) & 1:  # free bit: take from the rank
+            bit_i = (r >> j) & 1
+            j -= 1
+            i |= bit_i << k
+            bit_g = bit_i ^ ((i >> (k + 1)) & 1)
+            g |= bit_g << k
+        else:  # fixed bit: take from the pattern
+            bit_g = (pi >> k) & 1
+            g |= bit_g << k
+            bit_i = bit_g ^ ((i >> (k + 1)) & 1)
+            i |= bit_i << k
+    return i, g
+
+
+# -- classic Hilbert curve ---------------------------------------------------
+
+
+class HilbertCurve:
+    """Hilbert curve over ``n`` dimensions of ``m`` bits each."""
+
+    def __init__(self, num_dims: int, bits: int):
+        if num_dims < 1:
+            raise ValueError("num_dims must be >= 1")
+        if bits < 0:
+            raise ValueError("bits must be >= 0")
+        self.num_dims = num_dims
+        self.bits = bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.num_dims * self.bits
+
+    def index(self, point: Sequence[int]) -> int:
+        """Hilbert index of a point (Hamilton Algorithm 1)."""
+        n, m = self.num_dims, self.bits
+        if len(point) != n:
+            raise ValueError(f"point has {len(point)} dims, expected {n}")
+        for j, p in enumerate(point):
+            if not 0 <= p < (1 << m):
+                raise ValueError(f"coordinate {p} out of range at dim {j}")
+        h = 0
+        e = 0
+        d = 0
+        for i in range(m - 1, -1, -1):
+            l = 0
+            for j in range(n):
+                l |= ((point[j] >> i) & 1) << j
+            l = _transform(e, d, l, n)
+            w = gray_code_inverse(l)
+            h = (h << n) | w
+            e = e ^ _rotate_left(_entry_point(w), d + 1, n)
+            d = (d + _direction(w, n) + 1) % n
+        return h
+
+    def point(self, h: int) -> tuple[int, ...]:
+        """Inverse mapping: point on the curve at index ``h``."""
+        n, m = self.num_dims, self.bits
+        if not 0 <= h < (1 << (n * m)):
+            raise ValueError(f"index {h} out of range")
+        p = [0] * n
+        e = 0
+        d = 0
+        for i in range(m - 1, -1, -1):
+            w = (h >> (i * n)) & ((1 << n) - 1)
+            l = gray_code(w)
+            l = _transform_inverse(e, d, l, n)
+            for j in range(n):
+                p[j] |= ((l >> j) & 1) << i
+            e = e ^ _rotate_left(_entry_point(w), d + 1, n)
+            d = (d + _direction(w, n) + 1) % n
+        return tuple(p)
+
+
+# -- compact Hilbert curve ----------------------------------------------------
+
+
+class CompactHilbertCurve:
+    """Compact Hilbert curve with per-dimension bit widths.
+
+    The compact index of a point equals the number of valid domain
+    points that precede it on the padded Hilbert curve, so sorting by
+    compact index is identical to sorting by the padded curve's index --
+    but the compact index needs only ``sum(widths)`` bits.
+    """
+
+    def __init__(self, widths: Sequence[int]):
+        widths = tuple(int(w) for w in widths)
+        if not widths:
+            raise ValueError("need at least one dimension")
+        if any(w < 0 for w in widths):
+            raise ValueError("widths must be non-negative")
+        if max(widths) == 0:
+            raise ValueError("at least one width must be positive")
+        self.widths = widths
+        self.num_dims = len(widths)
+        self.max_bits = max(widths)
+        self.total_bits = sum(widths)
+
+    def _check_point(self, point: Sequence[int]) -> None:
+        if len(point) != self.num_dims:
+            raise ValueError(
+                f"point has {len(point)} dims, expected {self.num_dims}"
+            )
+        for j, (p, w) in enumerate(zip(point, self.widths)):
+            if not 0 <= p < (1 << w):
+                raise ValueError(
+                    f"coordinate {p} out of range [0, 2**{w}) at dim {j}"
+                )
+
+    def index(self, point: Sequence[int]) -> int:
+        """Compact Hilbert index (Hamilton & Rau-Chaplin Algorithm 2)."""
+        self._check_point(point)
+        n = self.num_dims
+        h = 0
+        e = 0
+        d = 0
+        for i in range(self.max_bits - 1, -1, -1):
+            # Mask of dimensions that still have a free bit at position i,
+            # expressed in the rotated local frame.
+            mu = 0
+            for j in range(n):
+                if self.widths[j] > i:
+                    mu |= 1 << j
+            mu = _rotate_right(mu, d + 1, n)
+            free_bits = bin(mu).count("1")
+            # Fixed-bit pattern: bits of the entry point on non-free axes.
+            pi = _rotate_right(e, d + 1, n) & (~mu & ((1 << n) - 1))
+            l = 0
+            for j in range(n):
+                l |= ((point[j] >> i) & 1) << j
+            l = _transform(e, d, l, n)
+            w = gray_code_inverse(l)
+            r = _gray_code_rank(mu, w, n)
+            e = e ^ _rotate_left(_entry_point(w), d + 1, n)
+            d = (d + _direction(w, n) + 1) % n
+            h = (h << free_bits) | r
+        return h
+
+    def point(self, h: int) -> tuple[int, ...]:
+        """Inverse compact mapping (Hamilton & Rau-Chaplin Algorithm 5)."""
+        if not 0 <= h < (1 << self.total_bits):
+            raise ValueError(f"index {h} out of range")
+        n = self.num_dims
+        p = [0] * n
+        e = 0
+        d = 0
+        remaining = self.total_bits
+        for i in range(self.max_bits - 1, -1, -1):
+            mu = 0
+            for j in range(n):
+                if self.widths[j] > i:
+                    mu |= 1 << j
+            mu = _rotate_right(mu, d + 1, n)
+            free_bits = bin(mu).count("1")
+            pi = _rotate_right(e, d + 1, n) & (~mu & ((1 << n) - 1))
+            remaining -= free_bits
+            r = (h >> remaining) & ((1 << free_bits) - 1)
+            w, l = _gray_code_rank_inverse(mu, pi, r, n, free_bits)
+            l = _transform_inverse(e, d, l, n)
+            for j in range(n):
+                p[j] |= ((l >> j) & 1) << i
+            e = e ^ _rotate_left(_entry_point(w), d + 1, n)
+            d = (d + _direction(w, n) + 1) % n
+        return tuple(p)
+
+    # -- reference implementations for testing ---------------------------
+
+    def brute_force_rank(self, point: Sequence[int]) -> int:
+        """Rank of ``point`` among all valid points in padded-curve order.
+
+        Exponential in the domain size; only usable for tiny widths in
+        tests, where it serves as the ground-truth definition of the
+        compact index.
+        """
+        self._check_point(point)
+        padded = HilbertCurve(self.num_dims, self.max_bits)
+        target = padded.index(point)
+        rank = 0
+        for other in self._iter_domain():
+            if padded.index(other) < target:
+                rank += 1
+        return rank
+
+    def _iter_domain(self):
+        from itertools import product
+
+        ranges = [range(1 << w) for w in self.widths]
+        yield from product(*ranges)

@@ -1,0 +1,39 @@
+"""OLAP data model: hierarchies, schemas, keys, queries, records."""
+
+from .hierarchy import (
+    Dimension,
+    Hierarchy,
+    Level,
+    bits_for,
+    flat_dimension,
+    uniform_dimension,
+)
+from .keys import Box, point_box, union_all
+from .mds import MDS
+from .query import Query, full_query, query_from_levels
+from .records import RecordBatch, concat_batches
+from .rollup import drilldown_path, group_boxes, pivot, rollup
+from .schema import Schema
+
+__all__ = [
+    "Box",
+    "Dimension",
+    "Hierarchy",
+    "Level",
+    "MDS",
+    "Query",
+    "RecordBatch",
+    "Schema",
+    "bits_for",
+    "concat_batches",
+    "flat_dimension",
+    "full_query",
+    "drilldown_path",
+    "group_boxes",
+    "pivot",
+    "point_box",
+    "rollup",
+    "query_from_levels",
+    "uniform_dimension",
+    "union_all",
+]

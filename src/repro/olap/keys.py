@@ -1,0 +1,248 @@
+"""Spatial keys over hierarchical id spaces: boxes (MBRs).
+
+A :class:`Box` is a per-dimension closed interval ``[lo_i, hi_i]`` in the
+leaf id space of each dimension.  Because hierarchy prefixes map to
+contiguous ranges (see :mod:`repro.olap.hierarchy`), a box can represent
+any "rectangular" hierarchical region, and Minimum Bounding Rectangles of
+hierarchical data are exact in this space.
+
+All operations are numpy-vectorised over dimensions.  Volumes are
+computed in float64: dimension ranges can reach 2**62, so products are
+large but comfortably within float64 range for realistic dimension
+counts (<= 64 dims * 62 bits would overflow; we clamp via log-volume
+where needed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Box", "point_box", "empty_like", "union_all"]
+
+
+class Box:
+    """A closed axis-aligned box over int64 coordinates.
+
+    An *empty* box is represented by ``lo > hi`` in every dimension and is
+    the identity for :meth:`expanded`.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray, *, copy: bool = True):
+        lo = np.array(lo, dtype=np.int64, copy=copy)
+        hi = np.array(hi, dtype=np.int64, copy=copy)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ValueError("lo/hi must be 1-d arrays of equal length")
+        self.lo = lo
+        self.hi = hi
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def empty(num_dims: int) -> "Box":
+        lo = np.full(num_dims, np.iinfo(np.int64).max // 2, dtype=np.int64)
+        hi = np.full(num_dims, -1, dtype=np.int64)
+        return Box(lo, hi, copy=False)
+
+    @staticmethod
+    def from_point(coords: np.ndarray) -> "Box":
+        c = np.asarray(coords, dtype=np.int64)
+        return Box(c.copy(), c.copy(), copy=False)
+
+    @staticmethod
+    def from_points(coords: np.ndarray) -> "Box":
+        """Bounding box of an ``(n, d)`` coordinate array (n >= 1)."""
+        c = np.asarray(coords, dtype=np.int64)
+        if c.ndim != 2 or c.shape[0] == 0:
+            raise ValueError("need a non-empty (n, d) array")
+        return Box(c.min(axis=0), c.max(axis=0), copy=False)
+
+    # -- predicates ----------------------------------------------------
+
+    @property
+    def num_dims(self) -> int:
+        return self.lo.shape[0]
+
+    def is_empty(self) -> bool:
+        return bool((self.lo > self.hi).any())
+
+    def contains_point(self, coords: np.ndarray) -> bool:
+        c = np.asarray(coords)
+        return bool(((self.lo <= c) & (c <= self.hi)).all())
+
+    def contains_points(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorised membership for an ``(n, d)`` array -> bool mask."""
+        c = np.asarray(coords)
+        return ((self.lo[None, :] <= c) & (c <= self.hi[None, :])).all(axis=1)
+
+    def contains_box(self, other: "Box") -> bool:
+        if other.is_empty():
+            return True
+        return bool(
+            ((self.lo <= other.lo) & (other.hi <= self.hi)).all()
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        if self.is_empty() or other.is_empty():
+            return False
+        return bool(
+            ((self.lo <= other.hi) & (other.lo <= self.hi)).all()
+        )
+
+    # -- measures --------------------------------------------------------
+
+    def side_lengths(self) -> np.ndarray:
+        """Per-dimension extent as float64 counts (0 if empty)."""
+        return np.maximum(
+            self.hi.astype(np.float64) - self.lo.astype(np.float64) + 1.0, 0.0
+        )
+
+    def volume(self) -> float:
+        """Number of lattice points covered (float64; 0 for empty)."""
+        if self.is_empty():
+            return 0.0
+        return float(np.prod(self.side_lengths()))
+
+    def log_volume(self) -> float:
+        """log2 of the volume; ``-inf`` for empty boxes.  Overflow-safe."""
+        if self.is_empty():
+            return float("-inf")
+        return float(np.sum(np.log2(self.side_lengths())))
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree 'margin' metric)."""
+        if self.is_empty():
+            return 0.0
+        return float(np.sum(self.side_lengths()))
+
+    def overlap_volume(self, other: "Box") -> float:
+        """Volume of the intersection with ``other`` (0 if disjoint)."""
+        if self.is_empty() or other.is_empty():
+            return 0.0
+        lo = np.maximum(self.lo, other.lo).astype(np.float64)
+        hi = np.minimum(self.hi, other.hi).astype(np.float64)
+        side = hi - lo + 1.0
+        if (side <= 0).any():
+            return 0.0
+        return float(np.prod(side))
+
+    def log_overlap_volume(self, other: "Box") -> float:
+        """log2 of intersection volume; ``-inf`` if disjoint."""
+        if self.is_empty() or other.is_empty():
+            return float("-inf")
+        lo = np.maximum(self.lo, other.lo).astype(np.float64)
+        hi = np.minimum(self.hi, other.hi).astype(np.float64)
+        side = hi - lo + 1.0
+        if (side <= 0).any():
+            return float("-inf")
+        return float(np.sum(np.log2(side)))
+
+    # -- combination ------------------------------------------------------
+
+    def intersection(self, other: "Box") -> "Box":
+        if not self.intersects(other):
+            return Box.empty(self.num_dims)
+        return Box(
+            np.maximum(self.lo, other.lo), np.minimum(self.hi, other.hi), copy=False
+        )
+
+    def union(self, other: "Box") -> "Box":
+        if self.is_empty():
+            return other.copy()
+        if other.is_empty():
+            return self.copy()
+        return Box(
+            np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi), copy=False
+        )
+
+    def expanded(self, other: "Box") -> "Box":
+        """Alias of :meth:`union` (R-tree terminology)."""
+        return self.union(other)
+
+    def expand_inplace(self, other: "Box") -> bool:
+        """Grow to cover ``other``; return True if anything changed."""
+        if other.is_empty():
+            return False
+        if self.is_empty():
+            self.lo[:] = other.lo
+            self.hi[:] = other.hi
+            return True
+        changed = bool((other.lo < self.lo).any() or (other.hi > self.hi).any())
+        np.minimum(self.lo, other.lo, out=self.lo)
+        np.maximum(self.hi, other.hi, out=self.hi)
+        return changed
+
+    def expand_point_inplace(self, coords: np.ndarray) -> bool:
+        c = np.asarray(coords, dtype=np.int64)
+        if self.is_empty():
+            self.lo[:] = c
+            self.hi[:] = c
+            return True
+        changed = bool((c < self.lo).any() or (c > self.hi).any())
+        np.minimum(self.lo, c, out=self.lo)
+        np.maximum(self.hi, c, out=self.hi)
+        return changed
+
+    def enlargement(self, other: "Box") -> float:
+        """Volume increase needed to cover ``other`` (R-tree metric)."""
+        return self.union(other).volume() - self.volume()
+
+    def center(self) -> np.ndarray:
+        return (self.lo.astype(np.float64) + self.hi.astype(np.float64)) / 2.0
+
+    # -- misc -------------------------------------------------------------
+
+    def copy(self) -> "Box":
+        return Box(self.lo, self.hi, copy=True)
+
+    def to_tuple(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        return tuple(int(x) for x in self.lo), tuple(int(x) for x in self.hi)
+
+    @staticmethod
+    def from_tuple(t: tuple[Sequence[int], Sequence[int]]) -> "Box":
+        return Box(np.array(t[0], dtype=np.int64), np.array(t[1], dtype=np.int64))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        if self.is_empty() and other.is_empty():
+            return True
+        return bool(
+            np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.to_tuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_empty():
+            return f"Box.empty({self.num_dims})"
+        pairs = ", ".join(f"[{l},{h}]" for l, h in zip(self.lo, self.hi))
+        return f"Box({pairs})"
+
+
+def point_box(coords: Iterable[int]) -> Box:
+    """Degenerate box covering a single point."""
+    return Box.from_point(np.fromiter(coords, dtype=np.int64))
+
+
+def empty_like(box: Box) -> Box:
+    return Box.empty(box.num_dims)
+
+
+def union_all(boxes: Iterable[Box], num_dims: int | None = None) -> Box:
+    """Union of an iterable of boxes (empty box if the iterable is empty)."""
+    it = iter(boxes)
+    try:
+        first = next(it)
+    except StopIteration:
+        if num_dims is None:
+            raise ValueError("cannot union zero boxes without num_dims")
+        return Box.empty(num_dims)
+    acc = first.copy()
+    for b in it:
+        acc.expand_inplace(b)
+    return acc

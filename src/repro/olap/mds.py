@@ -1,0 +1,292 @@
+"""Minimum Describing Subset (MDS) keys.
+
+The DC-tree / PDC-tree family uses *Minimum Describing Subsets* instead
+of Minimum Bounding Rectangles: a node's key is a small set of hierarchy
+regions per dimension rather than one interval per dimension.  Because
+hierarchy prefixes map to contiguous leaf-id ranges (see
+:mod:`repro.olap.hierarchy`), we represent an MDS as, per dimension, a
+sorted list of disjoint closed intervals, capped at ``max_intervals``
+entries.  When the cap is exceeded the two intervals separated by the
+smallest gap are coalesced, which mirrors the DC-tree's collapse of
+sibling entries into their parent (a parent's range is exactly the
+concatenation of its children's ranges, so gap-minimal coalescing
+reproduces the same behaviour on hierarchy-clustered data).
+
+Compared to a single-interval MBR, an MDS stays tight on data that is
+clustered in several separate hierarchy regions -- the property that
+makes PDC trees scale to many dimensions (paper Fig. 5).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+import numpy as np
+
+from .keys import Box
+
+__all__ = ["MDS", "DEFAULT_MAX_INTERVALS"]
+
+DEFAULT_MAX_INTERVALS = 4
+
+
+def _coalesce_smallest_gap(ivs: list[list[int]]) -> None:
+    """Merge the adjacent interval pair with the smallest gap, in place."""
+    best = 0
+    best_gap = None
+    for i in range(len(ivs) - 1):
+        gap = ivs[i + 1][0] - ivs[i][1]
+        if best_gap is None or gap < best_gap:
+            best_gap = gap
+            best = i
+    ivs[best][1] = ivs[best + 1][1]
+    del ivs[best + 1]
+
+
+def _insert_value(ivs: list[list[int]], lo: int, hi: int, cap: int) -> bool:
+    """Insert interval [lo, hi] into a sorted disjoint interval list.
+
+    Returns True if the list changed.  Merges overlapping/adjacent
+    intervals and enforces the cap.
+    """
+    n = len(ivs)
+    # Find insertion point by lower bound.
+    idx = bisect_right(ivs, lo, key=lambda iv: iv[0])
+    # Check the interval before: may already cover or touch [lo, hi].
+    if idx > 0 and ivs[idx - 1][1] >= lo - 1:
+        prev = ivs[idx - 1]
+        if prev[1] >= hi:
+            return False  # already covered
+        prev[1] = hi
+        idx -= 1
+    else:
+        ivs.insert(idx, [lo, hi])
+    # Absorb following intervals that now overlap/touch.
+    cur = ivs[idx]
+    j = idx + 1
+    while j < len(ivs) and ivs[j][0] <= cur[1] + 1:
+        cur[1] = max(cur[1], ivs[j][1])
+        del ivs[j]
+    while len(ivs) > cap:
+        _coalesce_smallest_gap(ivs)
+    return True
+
+
+class MDS:
+    """A per-dimension set of disjoint intervals, capped in size."""
+
+    __slots__ = ("intervals", "max_intervals")
+
+    def __init__(
+        self,
+        intervals: Sequence[Sequence[Sequence[int]]],
+        max_intervals: int = DEFAULT_MAX_INTERVALS,
+    ):
+        if max_intervals < 1:
+            raise ValueError("max_intervals must be >= 1")
+        self.max_intervals = max_intervals
+        self.intervals: list[list[list[int]]] = [
+            sorted([list(map(int, iv)) for iv in dim_ivs], key=lambda iv: iv[0])
+            for dim_ivs in intervals
+        ]
+        for dim_ivs in self.intervals:
+            for a, b in zip(dim_ivs, dim_ivs[1:]):
+                if a[1] >= b[0]:
+                    raise ValueError("intervals within a dimension must be disjoint")
+            while len(dim_ivs) > max_intervals:
+                _coalesce_smallest_gap(dim_ivs)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def empty(num_dims: int, max_intervals: int = DEFAULT_MAX_INTERVALS) -> "MDS":
+        m = MDS.__new__(MDS)
+        m.max_intervals = max_intervals
+        m.intervals = [[] for _ in range(num_dims)]
+        return m
+
+    @staticmethod
+    def from_point(
+        coords: np.ndarray, max_intervals: int = DEFAULT_MAX_INTERVALS
+    ) -> "MDS":
+        m = MDS.empty(len(coords), max_intervals)
+        m.expand_point_inplace(coords)
+        return m
+
+    @staticmethod
+    def from_box(box: Box, max_intervals: int = DEFAULT_MAX_INTERVALS) -> "MDS":
+        m = MDS.empty(box.num_dims, max_intervals)
+        if not box.is_empty():
+            for d in range(box.num_dims):
+                m.intervals[d].append([int(box.lo[d]), int(box.hi[d])])
+        return m
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def num_dims(self) -> int:
+        return len(self.intervals)
+
+    def is_empty(self) -> bool:
+        return any(len(ivs) == 0 for ivs in self.intervals)
+
+    def covers_point(self, coords: Sequence[int]) -> bool:
+        for d, c in enumerate(coords):
+            c = int(c)
+            ivs = self.intervals[d]
+            idx = bisect_right(ivs, c, key=lambda iv: iv[0]) - 1
+            if idx < 0 or ivs[idx][1] < c:
+                return False
+        return True
+
+    def intersects_box(self, box: Box) -> bool:
+        """True if the product set shares at least one point with ``box``."""
+        if self.is_empty() or box.is_empty():
+            return False
+        for d in range(self.num_dims):
+            qlo, qhi = int(box.lo[d]), int(box.hi[d])
+            if not any(iv[0] <= qhi and qlo <= iv[1] for iv in self.intervals[d]):
+                return False
+        return True
+
+    def covers(self, other: "MDS") -> bool:
+        """True if every interval of ``other`` lies inside this MDS."""
+        if other.is_empty():
+            return True
+        if self.is_empty():
+            return False
+        for d in range(self.num_dims):
+            mine = self.intervals[d]
+            for iv in other.intervals[d]:
+                idx = bisect_right(mine, iv[0], key=lambda x: x[0]) - 1
+                if idx < 0 or mine[idx][1] < iv[1]:
+                    return False
+        return True
+
+    def within_box(self, box: Box) -> bool:
+        """True if every interval in every dimension lies inside ``box``."""
+        if self.is_empty():
+            return True
+        if box.is_empty():
+            return False
+        for d in range(self.num_dims):
+            qlo, qhi = int(box.lo[d]), int(box.hi[d])
+            ivs = self.intervals[d]
+            if ivs[0][0] < qlo or ivs[-1][1] > qhi:
+                return False
+        return True
+
+    # -- measures --------------------------------------------------------
+
+    def side_lengths(self) -> np.ndarray:
+        """Per-dimension covered length (sum of interval sizes)."""
+        return np.array(
+            [
+                float(sum(iv[1] - iv[0] + 1 for iv in ivs))
+                for ivs in self.intervals
+            ]
+        )
+
+    def log_volume(self) -> float:
+        if self.is_empty():
+            return float("-inf")
+        return float(np.sum(np.log2(self.side_lengths())))
+
+    def overlap_lengths(self, other: "MDS") -> np.ndarray:
+        """Per-dimension length of the intersection of interval unions."""
+        out = np.zeros(self.num_dims)
+        for d in range(self.num_dims):
+            a = self.intervals[d]
+            b = other.intervals[d]
+            i = j = 0
+            total = 0
+            while i < len(a) and j < len(b):
+                lo = max(a[i][0], b[j][0])
+                hi = min(a[i][1], b[j][1])
+                if lo <= hi:
+                    total += hi - lo + 1
+                if a[i][1] < b[j][1]:
+                    i += 1
+                else:
+                    j += 1
+            out[d] = float(total)
+        return out
+
+    def log_overlap_volume(self, other: "MDS") -> float:
+        """log2 of the intersection volume with ``other``; -inf if disjoint."""
+        lengths = self.overlap_lengths(other)
+        if (lengths <= 0).any():
+            return float("-inf")
+        return float(np.sum(np.log2(lengths)))
+
+    # -- combination -------------------------------------------------------
+
+    def expand_point_inplace(self, coords: Sequence[int]) -> bool:
+        changed = False
+        for d, c in enumerate(coords):
+            c = int(c)
+            if _insert_value(self.intervals[d], c, c, self.max_intervals):
+                changed = True
+        return changed
+
+    def expand_inplace(self, other: "MDS") -> bool:
+        changed = False
+        for d in range(self.num_dims):
+            for iv in other.intervals[d]:
+                if _insert_value(
+                    self.intervals[d], iv[0], iv[1], self.max_intervals
+                ):
+                    changed = True
+        return changed
+
+    def expand_box_inplace(self, box: Box) -> bool:
+        if box.is_empty():
+            return False
+        changed = False
+        for d in range(box.num_dims):
+            if _insert_value(
+                self.intervals[d],
+                int(box.lo[d]),
+                int(box.hi[d]),
+                self.max_intervals,
+            ):
+                changed = True
+        return changed
+
+    def union(self, other: "MDS") -> "MDS":
+        m = self.copy()
+        m.expand_inplace(other)
+        return m
+
+    # -- conversions ---------------------------------------------------------
+
+    def mbr(self) -> Box:
+        """Single-interval bounding box of the MDS."""
+        if self.is_empty():
+            return Box.empty(self.num_dims)
+        lo = np.array([ivs[0][0] for ivs in self.intervals], dtype=np.int64)
+        hi = np.array([ivs[-1][1] for ivs in self.intervals], dtype=np.int64)
+        return Box(lo, hi, copy=False)
+
+    def copy(self) -> "MDS":
+        m = MDS.__new__(MDS)
+        m.max_intervals = self.max_intervals
+        m.intervals = [[iv.copy() for iv in ivs] for ivs in self.intervals]
+        return m
+
+    def to_tuple(self) -> tuple:
+        return tuple(
+            tuple((iv[0], iv[1]) for iv in ivs) for ivs in self.intervals
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MDS):
+            return NotImplemented
+        return self.to_tuple() == other.to_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.to_tuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MDS({self.to_tuple()})"

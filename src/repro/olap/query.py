@@ -1,0 +1,78 @@
+"""Aggregate queries over hierarchical dimensions.
+
+A VOLAP query specifies, for every dimension, either a value at some
+hierarchy level (meaning "this value and all of its descendants") or the
+whole dimension.  Each such constraint maps to a contiguous leaf-id
+range, so a query is geometrically a :class:`~repro.olap.keys.Box`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .keys import Box
+from .schema import Schema
+
+__all__ = ["Query", "query_from_levels", "full_query"]
+
+
+@dataclass
+class Query:
+    """An aggregate query: a box plus bookkeeping metadata.
+
+    Attributes
+    ----------
+    box:
+        The hierarchical region to aggregate.
+    coverage:
+        The measured fraction of database items covered (filled in by the
+        workload generator when binning queries; ``nan`` until measured).
+    """
+
+    box: Box
+    coverage: float = float("nan")
+    query_id: int = -1
+
+    @property
+    def num_dims(self) -> int:
+        return self.box.num_dims
+
+
+def query_from_levels(
+    schema: Schema,
+    constraints: Mapping[str, tuple[int, Sequence[int]]],
+) -> Query:
+    """Build a query from per-dimension level constraints.
+
+    ``constraints`` maps dimension name to ``(depth, prefix_path)``: the
+    value at hierarchy depth ``depth`` (1 = coarsest level) whose subtree
+    should be aggregated.  Dimensions not present are unconstrained.
+
+    >>> q = query_from_levels(schema, {"date": (2, (3, 11))})  # doctest: +SKIP
+    """
+    lo = np.zeros(schema.num_dims, dtype=np.int64)
+    hi = schema.leaf_limits.copy()
+    for name, (depth, path) in constraints.items():
+        d = schema.index_of(name)
+        h = schema.dimensions[d].hierarchy
+        if not 1 <= depth <= h.num_levels:
+            raise ValueError(
+                f"depth {depth} out of range for dimension {name!r}"
+            )
+        if len(path) != depth:
+            raise ValueError(
+                f"prefix path length {len(path)} != depth {depth} for {name!r}"
+            )
+        prefix = h.encode_prefix(path)
+        lo[d], hi[d] = h.prefix_range(depth, prefix)
+    return Query(Box(lo, hi, copy=False))
+
+
+def full_query(schema: Schema) -> Query:
+    """A query covering the entire leaf-id space (100% coverage)."""
+    lo = np.zeros(schema.num_dims, dtype=np.int64)
+    hi = schema.leaf_limits.copy()
+    return Query(Box(lo, hi, copy=False), coverage=1.0)

@@ -1,0 +1,134 @@
+"""Roll-up and pivot helpers: grouped aggregates over hierarchy levels.
+
+The paper's system answers single aggregate-range queries; real OLAP
+sessions ask the grouped form ("sales *by month*", "revenue by region x
+category").  These helpers express a group-by as one range query per
+group member, which the cached per-node aggregates of the PDC-tree
+family answer cheaply -- each group is a hierarchy-aligned box, exactly
+the shape the index optimises for.
+
+Works against any :class:`~repro.core.base.ShardStore` (single node) --
+for the distributed system, issue the same per-group queries through a
+client session.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+
+from .keys import Box
+from .schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.aggregates import Aggregate
+    from ..core.base import ShardStore
+
+__all__ = ["rollup", "pivot", "drilldown_path", "group_boxes"]
+
+
+def group_boxes(
+    schema: Schema,
+    dim_name: str,
+    depth: int,
+    within: Optional[Box] = None,
+) -> Iterator[tuple[tuple[int, ...], Box]]:
+    """Yield ``(group_path, box)`` for every value at ``depth`` of a
+    dimension, optionally restricted to the region ``within``.
+
+    Only groups whose box intersects ``within`` are yielded, and the
+    yielded boxes are clipped to it.
+    """
+    d = schema.index_of(dim_name)
+    h = schema.dimension(dim_name).hierarchy
+    if not 1 <= depth <= h.num_levels:
+        raise ValueError(f"depth {depth} out of range for {dim_name!r}")
+    base_lo = np.zeros(schema.num_dims, dtype=np.int64)
+    base_hi = schema.leaf_limits.copy()
+    if within is not None:
+        base_lo = within.lo.copy()
+        base_hi = within.hi.copy()
+
+    def paths(prefix: tuple[int, ...], level: int):
+        if level == depth:
+            yield prefix
+            return
+        for v in range(h.levels[level].fanout):
+            yield from paths(prefix + (v,), level + 1)
+
+    for path in paths((), 0):
+        prefix = h.encode_prefix(path)
+        lo_d, hi_d = h.prefix_range(depth, prefix)
+        lo = base_lo.copy()
+        hi = base_hi.copy()
+        lo[d] = max(lo[d], lo_d)
+        hi[d] = min(hi[d], hi_d)
+        if lo[d] > hi[d]:
+            continue
+        yield path, Box(lo, hi, copy=False)
+
+
+def rollup(
+    store: "ShardStore",
+    dim_name: str,
+    depth: int,
+    within: Optional[Box] = None,
+    keep_empty: bool = False,
+) -> dict[tuple[int, ...], "Aggregate"]:
+    """Aggregate grouped by the values of one dimension at ``depth``.
+
+    >>> by_year = rollup(tree, "date", 1)            # doctest: +SKIP
+    >>> by_month = rollup(tree, "date", 2, within=q.box)  # doctest: +SKIP
+    """
+    out: dict[tuple[int, ...], "Aggregate"] = {}
+    for path, box in group_boxes(store.schema, dim_name, depth, within):
+        agg, _ = store.query(box)
+        if agg.count or keep_empty:
+            out[path] = agg
+    return out
+
+
+def pivot(
+    store: "ShardStore",
+    row_dim: str,
+    row_depth: int,
+    col_dim: str,
+    col_depth: int,
+    within: Optional[Box] = None,
+) -> dict[tuple[tuple[int, ...], tuple[int, ...]], "Aggregate"]:
+    """Two-dimensional grouped aggregate (cross-tab).
+
+    Returns ``{(row_path, col_path): aggregate}`` for non-empty cells.
+    """
+    if row_dim == col_dim:
+        raise ValueError("pivot requires two distinct dimensions")
+    out: dict[tuple[tuple[int, ...], tuple[int, ...]], "Aggregate"] = {}
+    for row_path, row_box in group_boxes(
+        store.schema, row_dim, row_depth, within
+    ):
+        for col_path, cell_box in group_boxes(
+            store.schema, col_dim, col_depth, row_box
+        ):
+            agg, _ = store.query(cell_box)
+            if agg.count:
+                out[(row_path, col_path)] = agg
+    return out
+
+
+def drilldown_path(
+    store: "ShardStore",
+    dim_name: str,
+    path: tuple[int, ...],
+    within: Optional[Box] = None,
+) -> dict[tuple[int, ...], "Aggregate"]:
+    """One drill-down step: aggregates of the children of ``path``.
+
+    With an empty path, returns the top-level roll-up.
+    """
+    h = store.schema.dimension(dim_name).hierarchy
+    depth = len(path) + 1
+    if depth > h.num_levels:
+        raise ValueError(f"cannot drill below the leaf level of {dim_name!r}")
+    full = rollup(store, dim_name, depth, within)
+    return {p: a for p, a in full.items() if p[: len(path)] == tuple(path)}

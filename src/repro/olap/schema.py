@@ -1,0 +1,97 @@
+"""Multi-dimensional schemas: an ordered set of hierarchical dimensions."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .hierarchy import Dimension
+
+
+class Schema:
+    """An ordered collection of :class:`~repro.olap.hierarchy.Dimension`.
+
+    The schema fixes the coordinate layout used everywhere else: an item
+    is a vector of ``num_dims`` leaf-level encoded ids (int64), plus a
+    float64 measure.
+    """
+
+    __slots__ = ("dimensions", "_by_name", "_widths", "_limits")
+
+    def __init__(self, dimensions: Sequence[Dimension]):
+        if not dimensions:
+            raise ValueError("schema needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names in {names}")
+        self.dimensions: tuple[Dimension, ...] = tuple(dimensions)
+        self._by_name = {d.name: i for i, d in enumerate(self.dimensions)}
+        self._widths = np.array([d.total_bits for d in self.dimensions], dtype=np.int64)
+        self._limits = np.array(
+            [(1 << d.total_bits) - 1 for d in self.dimensions], dtype=np.int64
+        )
+
+    @property
+    def num_dims(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def leaf_widths(self) -> np.ndarray:
+        """Per-dimension leaf id bit widths (int64 array)."""
+        return self._widths
+
+    @property
+    def leaf_limits(self) -> np.ndarray:
+        """Per-dimension maximum leaf id (inclusive, int64 array)."""
+        return self._limits
+
+    def index_of(self, name: str) -> int:
+        return self._by_name[name]
+
+    def dimension(self, name: str) -> Dimension:
+        return self.dimensions[self._by_name[name]]
+
+    def encode_point(self, paths: Sequence[Sequence[int]]) -> np.ndarray:
+        """Encode one full path per dimension into an int64 coordinate vector."""
+        if len(paths) != self.num_dims:
+            raise ValueError(
+                f"expected {self.num_dims} paths, got {len(paths)}"
+            )
+        return np.array(
+            [d.hierarchy.encode(p) for d, p in zip(self.dimensions, paths)],
+            dtype=np.int64,
+        )
+
+    def decode_point(self, coords: Sequence[int]) -> tuple[tuple[int, ...], ...]:
+        """Decode a coordinate vector back into per-dimension paths."""
+        return tuple(
+            d.hierarchy.decode(int(c)) for d, c in zip(self.dimensions, coords)
+        )
+
+    def validate_coords(self, coords: np.ndarray) -> None:
+        """Raise if any coordinate falls outside its dimension's id space."""
+        coords = np.asarray(coords)
+        if coords.ndim == 1:
+            coords = coords[None, :]
+        if coords.shape[1] != self.num_dims:
+            raise ValueError(
+                f"coords have {coords.shape[1]} dims, schema has {self.num_dims}"
+            )
+        if (coords < 0).any() or (coords > self._limits[None, :]).any():
+            raise ValueError("coordinates out of range for schema")
+
+    def __iter__(self) -> Iterator[Dimension]:
+        return iter(self.dimensions)
+
+    def __len__(self) -> int:
+        return self.num_dims
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.dimensions == other.dimensions
+
+    def __hash__(self) -> int:
+        return hash(self.dimensions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema({[d.name for d in self.dimensions]})"

@@ -1,0 +1,16 @@
+"""Workloads: TPC-DS-like data, coverage-binned queries, mixed streams."""
+
+from .querygen import PAPER_BINS, CoverageBins, QueryGenerator
+from .streams import Operation, StreamGenerator
+from .tpcds import TPCDSGenerator, synthetic_schema, tpcds_schema
+
+__all__ = [
+    "PAPER_BINS",
+    "CoverageBins",
+    "Operation",
+    "QueryGenerator",
+    "StreamGenerator",
+    "TPCDSGenerator",
+    "synthetic_schema",
+    "tpcds_schema",
+]

@@ -1,0 +1,105 @@
+"""High-dimensional workloads for the dimension sweep (paper Fig. 5).
+
+Real OLAP fact data with many dimensions is strongly *correlated* --
+store, customer, item, promotion attributes all co-vary with a latent
+segment (region, season, product line).  The dimension-scaling
+experiment therefore uses latent-cluster data: a hidden cluster id
+picks a level-1 value in every dimension, and the remaining hierarchy
+levels are drawn at random.  On such data, indexes that exploit
+hierarchy levels can keep pruning as ``d`` grows, while flat-geometry
+indexes degrade -- the contrast Fig. 5 measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..olap.hierarchy import Dimension, Hierarchy, Level
+from ..olap.keys import Box
+from ..olap.records import RecordBatch
+from ..olap.schema import Schema
+
+__all__ = [
+    "heterogeneous_schema",
+    "latent_cluster_batch",
+    "level_constrained_queries",
+]
+
+
+def heterogeneous_schema(num_dims: int, seed: int = 0) -> Schema:
+    """A ``num_dims``-dimension schema with *unequal* per-level widths.
+
+    Alternates wide and narrow fan-outs across dimensions, which is what
+    makes the Fig. 3 ID expansion matter: without expansion, wide
+    dimensions dominate the top Hilbert-curve bits and narrow
+    dimensions' level-1 values lose locality.
+    """
+    rng = np.random.default_rng(seed)
+    shapes = [(16, 4), (4, 16), (8, 8), (32, 2), (2, 32)]
+    dims = []
+    for i in range(num_dims):
+        f1, f2 = shapes[i % len(shapes)]
+        name = f"dim{i}"
+        dims.append(
+            Dimension(
+                name,
+                Hierarchy(
+                    name, [Level(f"{name}_l0", f1), Level(f"{name}_l1", f2)]
+                ),
+            )
+        )
+    return Schema(dims)
+
+
+def latent_cluster_batch(
+    schema: Schema,
+    n: int,
+    clusters: int = 12,
+    seed: int = 0,
+) -> tuple[RecordBatch, np.ndarray]:
+    """Fact rows whose level-1 value in every dimension follows a latent
+    cluster id.  Returns (batch, centers) where ``centers[c, d]`` is the
+    level-1 id cluster ``c`` uses in dimension ``d``."""
+    rng = np.random.default_rng(seed)
+    d = schema.num_dims
+    centers = np.zeros((clusters, d), dtype=np.int64)
+    for j, dim in enumerate(schema.dimensions):
+        centers[:, j] = rng.integers(
+            0, dim.hierarchy.levels[0].fanout, size=clusters
+        )
+    which = rng.integers(0, clusters, size=n)
+    coords = np.zeros((n, d), dtype=np.int64)
+    for j, dim in enumerate(schema.dimensions):
+        h = dim.hierarchy
+        below = h.suffix_bits(1)
+        rest = rng.integers(0, 1 << below, size=n) if below else np.zeros(n, dtype=np.int64)
+        coords[:, j] = (centers[which, j] << below) | rest
+    return RecordBatch(coords, rng.random(n)), centers
+
+
+def level_constrained_queries(
+    schema: Schema,
+    centers: np.ndarray,
+    n_queries: int,
+    constrained_dims: int = 3,
+    seed: int = 0,
+) -> list[Box]:
+    """Queries constraining a few random dimensions to the level-1 value
+    of a random cluster (the paper's "values at various levels in all
+    dimensions", aimed where the data lives)."""
+    rng = np.random.default_rng(seed)
+    d = schema.num_dims
+    out = []
+    for _ in range(n_queries):
+        c = centers[rng.integers(0, len(centers))]
+        lo = np.zeros(d, dtype=np.int64)
+        hi = schema.leaf_limits.copy()
+        k = min(constrained_dims, d)
+        for j in rng.choice(d, size=k, replace=False):
+            h = schema.dimensions[j].hierarchy
+            below = h.suffix_bits(1)
+            v = int(c[j])
+            lo[j] = v << below
+            hi[j] = ((v + 1) << below) - 1
+        out.append(Box(lo, hi))
+    return out

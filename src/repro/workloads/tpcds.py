@@ -1,0 +1,159 @@
+"""TPC-DS-like schema and data generator (paper Fig. 1).
+
+The paper evaluates VOLAP on TPC-DS fact data with ``d = 8``
+hierarchical dimensions.  We reproduce the hierarchy *shapes* of
+Figure 1 -- the level structure and realistic fan-outs -- and generate
+synthetic fact rows with Zipf-skewed, optionally time-correlated draws.
+The index only ever sees hierarchical IDs, so matching the hierarchy
+shapes (levels, branching, unequal per-level widths) preserves the
+behaviour the experiments measure.
+
+Dimensions (coarsest level first):
+
+====================  =========================================
+``store``             country > state > city > store
+``customer``          country > state > city   (address chain)
+``customer_birth``    byear > bmonth > bday
+``item``              category > class > brand
+``date``              year > month > day
+``time``              hour > minute
+``household``         income_band > vehicle_count
+``promotion``         promo_name (flat)
+====================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..olap.hierarchy import Dimension, Hierarchy, Level
+from ..olap.records import RecordBatch
+from ..olap.schema import Schema
+
+__all__ = ["tpcds_schema", "TPCDSGenerator", "synthetic_schema"]
+
+
+def tpcds_schema() -> Schema:
+    """The 8-dimension hierarchical schema of paper Fig. 1."""
+
+    def dim(name: str, levels: list[tuple[str, int]]) -> Dimension:
+        return Dimension(name, Hierarchy(name, [Level(n, f) for n, f in levels]))
+
+    return Schema(
+        [
+            dim(
+                "store",
+                [("country", 20), ("state", 30), ("city", 40), ("store", 10)],
+            ),
+            dim("customer", [("country", 20), ("state", 30), ("city", 40)]),
+            dim("customer_birth", [("byear", 100), ("bmonth", 12), ("bday", 31)]),
+            dim("item", [("category", 10), ("class", 20), ("brand", 50)]),
+            dim("date", [("year", 10), ("month", 12), ("day", 31)]),
+            dim("time", [("hour", 24), ("minute", 60)]),
+            dim("household", [("income_band", 20), ("vehicle_count", 5)]),
+            dim("promotion", [("promo_name", 300)]),
+        ]
+    )
+
+
+def synthetic_schema(num_dims: int, levels: int = 3, fanout: int = 8) -> Schema:
+    """Uniform synthetic schema for the dimension sweep (paper Fig. 5)."""
+    dims = []
+    for i in range(num_dims):
+        name = f"dim{i}"
+        dims.append(
+            Dimension(
+                name,
+                Hierarchy(
+                    name, [Level(f"{name}_l{j}", fanout) for j in range(levels)]
+                ),
+            )
+        )
+    return Schema(dims)
+
+
+def _zipf_weights(n: int, s: float, rng: np.random.Generator) -> np.ndarray:
+    """Zipf-like categorical weights over ``n`` values, randomly permuted."""
+    w = 1.0 / np.arange(1, n + 1) ** s
+    rng.shuffle(w)
+    return w / w.sum()
+
+
+class TPCDSGenerator:
+    """Synthetic fact-row generator over any hierarchical schema.
+
+    Per-level categorical distributions are Zipf-skewed (``skew``), so
+    data clusters under popular hierarchy prefixes the way retail fact
+    data does.  With ``time_correlated=True`` the ``date``/``time``
+    dimensions advance with row index, emulating the high-velocity
+    append pattern the paper targets (new facts carry recent
+    timestamps, which drives shard bounding-box expansion).
+    """
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        seed: int = 0,
+        skew: float = 0.7,
+        time_correlated: bool = False,
+    ):
+        self.schema = schema if schema is not None else tpcds_schema()
+        self.rng = np.random.default_rng(seed)
+        self.skew = skew
+        self.time_correlated = time_correlated
+        self._clock = 0  # rows generated so far, drives time correlation
+        # one weight vector per (dimension, level); levels reuse a single
+        # distribution for all parents, which preserves skew but keeps
+        # generation vectorised.
+        self._weights: list[list[np.ndarray]] = []
+        for dim in self.schema.dimensions:
+            per_level = [
+                _zipf_weights(lvl.fanout, self.skew, self.rng)
+                for lvl in dim.hierarchy.levels
+            ]
+            self._weights.append(per_level)
+        self._time_dims = [
+            i
+            for i, d in enumerate(self.schema.dimensions)
+            if d.name in ("date", "time")
+        ]
+
+    def batch(self, n: int) -> RecordBatch:
+        """Generate ``n`` fact rows."""
+        coords = np.zeros((n, self.schema.num_dims), dtype=np.int64)
+        for d, dim in enumerate(self.schema.dimensions):
+            h = dim.hierarchy
+            value = np.zeros(n, dtype=np.int64)
+            for l, lvl in enumerate(h.levels):
+                ids = self.rng.choice(
+                    lvl.fanout, size=n, p=self._weights[d][l]
+                )
+                value = (value << lvl.bits) | ids
+            coords[:, d] = value
+        if self.time_correlated and self._time_dims:
+            self._apply_time_correlation(coords, n)
+        self._clock += n
+        measures = self.rng.gamma(2.0, 50.0, size=n)  # sales-amount-like
+        return RecordBatch(coords, measures)
+
+    def _apply_time_correlation(self, coords: np.ndarray, n: int) -> None:
+        """Make the top level of date/time advance with the row counter."""
+        for d in self._time_dims:
+            h = self.schema.dimensions[d].hierarchy
+            top = h.levels[0]
+            below = h.suffix_bits(1)
+            # map the global row counter onto the top-level id range
+            phase = (self._clock + np.arange(n)) // max(1, 50_000 // top.fanout)
+            top_ids = np.minimum(phase % (top.fanout * 4), top.fanout - 1)
+            rest = coords[:, d] & ((1 << below) - 1)
+            coords[:, d] = (top_ids.astype(np.int64) << below) | rest
+
+    def stream(self, total: int, chunk: int = 1000):
+        """Yield successive batches until ``total`` rows are produced."""
+        remaining = total
+        while remaining > 0:
+            k = min(chunk, remaining)
+            yield self.batch(k)
+            remaining -= k

@@ -1,0 +1,68 @@
+"""Shared fixtures: schemas, random data, and tree factories."""
+
+import numpy as np
+import pytest
+
+from repro.olap.hierarchy import Dimension, Hierarchy, Level
+from repro.olap.records import RecordBatch
+from repro.olap.schema import Schema
+
+
+def make_schema(spec=None) -> Schema:
+    """Schema from a list of per-dimension fanout lists."""
+    if spec is None:
+        spec = [[8, 12, 31], [4, 16], [10, 10]]
+    dims = []
+    for i, fanouts in enumerate(spec):
+        name = f"d{i}"
+        dims.append(
+            Dimension(
+                name,
+                Hierarchy(
+                    name, [Level(f"{name}_l{j}", f) for j, f in enumerate(fanouts)]
+                ),
+            )
+        )
+    return Schema(dims)
+
+
+def random_batch(schema: Schema, n: int, seed: int = 0) -> RecordBatch:
+    rng = np.random.default_rng(seed)
+    coords = rng.integers(
+        0, schema.leaf_limits + 1, size=(n, schema.num_dims), dtype=np.int64
+    )
+    return RecordBatch(coords, rng.random(n))
+
+
+def clustered_batch(schema: Schema, n: int, clusters: int = 5, seed: int = 0) -> RecordBatch:
+    """Hierarchy-clustered data: items concentrate under a few prefixes."""
+    rng = np.random.default_rng(seed)
+    d = schema.num_dims
+    centers = rng.integers(0, schema.leaf_limits + 1, size=(clusters, d), dtype=np.int64)
+    which = rng.integers(0, clusters, size=n)
+    spread = np.maximum(schema.leaf_limits // 16, 1)
+    jitter = rng.integers(-spread, spread + 1, size=(n, d))
+    coords = np.clip(centers[which] + jitter, 0, schema.leaf_limits)
+    return RecordBatch(coords.astype(np.int64), rng.random(n))
+
+
+def random_boxes(schema: Schema, n: int, seed: int = 1):
+    from repro.olap.keys import Box
+
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n):
+        a = rng.integers(0, schema.leaf_limits + 1)
+        b = rng.integers(0, schema.leaf_limits + 1)
+        out.append(Box(np.minimum(a, b), np.maximum(a, b)))
+    return out
+
+
+@pytest.fixture
+def schema():
+    return make_schema()
+
+
+@pytest.fixture
+def batch(schema):
+    return random_batch(schema, 1500, seed=42)

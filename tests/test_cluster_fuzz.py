@@ -1,0 +1,108 @@
+"""Randomised integration sweeps: many small clusters, many shapes.
+
+Each case wires a cluster with randomly drawn parameters (workers,
+servers, tree config, balancer aggressiveness, store class, image key
+kind), throws a random operation mix at it, lets the balancer churn,
+and asserts the global invariants that must survive *any*
+configuration: no item lost, full queries exact on every server after a
+sync period, all shards accounted for in every image.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BalancerPolicy, ClusterConfig, VOLAPCluster
+from repro.core import HilbertPDCTree, PDCTree, TreeConfig
+from repro.olap.query import full_query
+from repro.workloads import QueryGenerator, TPCDSGenerator, tpcds_schema
+from repro.workloads.streams import Operation
+
+SCHEMA = tpcds_schema()
+
+
+def run_case(seed: int) -> None:
+    rng = np.random.default_rng(seed)
+    workers = int(rng.integers(2, 5))
+    servers = int(rng.integers(1, 3))
+    store_cls = HilbertPDCTree if rng.random() < 0.7 else PDCTree
+    key_kind = "mds" if rng.random() < 0.7 else "mbr"
+    n0 = int(rng.integers(1500, 4000))
+    cfg = ClusterConfig(
+        num_workers=workers,
+        num_servers=servers,
+        tree_config=TreeConfig(
+            key_kind=key_kind,
+            leaf_capacity=int(rng.integers(8, 64)),
+            fanout=int(rng.integers(4, 16)),
+        ),
+        balancer=BalancerPolicy(
+            max_shard_items=int(rng.integers(400, 2000)),
+            imbalance_ratio=float(rng.uniform(1.15, 1.6)),
+            min_migrate_items=int(rng.integers(50, 200)),
+            scan_period=float(rng.uniform(0.1, 0.6)),
+        ),
+        image_key_kind="mds" if rng.random() < 0.5 else "mbr",
+        sync_period=float(rng.uniform(0.5, 3.0)),
+        store_cls=store_cls,
+        seed=seed,
+    )
+    gen = TPCDSGenerator(SCHEMA, seed=seed)
+    base = gen.batch(n0)
+    cluster = VOLAPCluster(SCHEMA, cfg)
+    cluster.bootstrap(base, shards_per_worker=int(rng.integers(1, 4)))
+
+    # random mixed stream
+    qg = QueryGenerator(SCHEMA, base, seed=seed + 1)
+    n_ops = int(rng.integers(100, 300))
+    extra = gen.batch(n_ops)
+    ops = []
+    n_inserts = 0
+    for i in range(n_ops):
+        if rng.random() < 0.6:
+            ops.append(
+                Operation(
+                    "insert",
+                    coords=extra.coords[n_inserts],
+                    measure=float(extra.measures[n_inserts]),
+                )
+            )
+            n_inserts += 1
+        else:
+            ops.append(Operation("query", query=qg.random_query()))
+    sess = cluster.session(
+        int(rng.integers(0, servers)), concurrency=int(rng.integers(1, 12))
+    )
+    sess.run_stream(ops)
+    cluster.run_until_clients_done()
+
+    # maybe scale out mid-life and let the balancer churn
+    if rng.random() < 0.5:
+        cluster.add_workers(1)
+    cluster.run_for(float(rng.uniform(2.0, 8.0)))
+
+    expected = n0 + n_inserts
+    assert cluster.total_items() == expected, "items lost or duplicated"
+
+    # quiesce past the sync period; every server must answer exactly
+    cluster.run_for(cfg.sync_period + 0.5)
+    for s_idx in range(servers):
+        out = []
+        q = cluster.session(s_idx, concurrency=1)
+        q.on_complete = out.append
+        q.run_stream([Operation("query", query=full_query(SCHEMA))])
+        cluster.run_until_clients_done()
+        assert out[0].result_count == expected, f"server {s_idx} inexact"
+
+    # image bookkeeping: every server's image matches the live shard set
+    live = {
+        sid for w in cluster.workers.values() for sid in w.shards
+    }
+    for s in cluster.servers:
+        image_ids = {info.shard_id for info in s.image.shards()}
+        assert image_ids == live, "image out of sync with workers"
+        s.image.validate()
+
+
+@pytest.mark.parametrize("seed", [11, 23, 37, 59, 71, 83])
+def test_random_cluster_configurations(seed):
+    run_case(seed)

@@ -1,0 +1,120 @@
+"""Concurrency tests: the PDC-tree locking protocol under real threads.
+
+The paper's trees are multi-threaded with minimal locking (Section
+III-C/D: "operations hold only one or two node locks at a given time").
+The Python GIL removes parallel speedup but not interleaving, so these
+tests genuinely exercise the hand-over-hand protocol: concurrent
+inserters and queriers race on one tree, and afterwards all invariants
+must hold and no item may be lost.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import HilbertPDCTree, PDCTree, TreeConfig
+from repro.olap.query import full_query
+
+from .conftest import make_schema, random_batch
+
+THREADED = [HilbertPDCTree, PDCTree]
+
+
+@pytest.mark.parametrize("cls", THREADED)
+def test_concurrent_inserts_lose_nothing(cls):
+    schema = make_schema([[8, 8], [8, 8]])
+    config = TreeConfig(leaf_capacity=8, fanout=4, thread_safe=True)
+    tree = cls(schema, config)
+    n_threads = 4
+    per_thread = 250
+    batches = [random_batch(schema, per_thread, seed=i) for i in range(n_threads)]
+    errors = []
+
+    def worker(b):
+        try:
+            for coords, m in b.iter_rows():
+                tree.insert(coords, m)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(b,)) for b in batches]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(tree) == n_threads * per_thread
+    tree.validate()
+    agg, _ = tree.query(full_query(schema).box)
+    assert agg.count == n_threads * per_thread
+    expected = sum(float(b.measures.sum()) for b in batches)
+    assert agg.total == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("cls", THREADED)
+def test_concurrent_inserts_and_queries(cls):
+    """Queries racing with inserts see monotonically growing prefixes."""
+    schema = make_schema([[8, 8], [8, 8]])
+    config = TreeConfig(leaf_capacity=8, fanout=4, thread_safe=True)
+    tree = cls(schema, config)
+    batch = random_batch(schema, 600, seed=3)
+    box = full_query(schema).box
+    stop = threading.Event()
+    errors = []
+    observed = []
+
+    def inserter():
+        try:
+            for coords, m in batch.iter_rows():
+                tree.insert(coords, m)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def querier():
+        try:
+            while not stop.is_set():
+                agg, _ = tree.query(box)
+                observed.append(agg.count)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=inserter)] + [
+        threading.Thread(target=querier) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(tree) == 600
+    tree.validate()
+    # Every observation is within the range of what was inserted so far.
+    assert all(0 <= c <= 600 for c in observed)
+    final, _ = tree.query(box)
+    assert final.count == 600
+
+
+def test_thread_safe_flag_creates_locks():
+    schema = make_schema([[4, 4]])
+    safe = HilbertPDCTree(schema, TreeConfig(thread_safe=True))
+    unsafe = HilbertPDCTree(schema, TreeConfig(thread_safe=False))
+    assert safe.root.lock is not None
+    assert unsafe.root.lock is None
+
+
+def test_locking_overhead_is_optional(schema, batch):
+    """Both modes produce structurally identical results for serial input."""
+    cfg_on = TreeConfig(leaf_capacity=16, fanout=8, thread_safe=True)
+    cfg_off = TreeConfig(leaf_capacity=16, fanout=8, thread_safe=False)
+    a = HilbertPDCTree(schema, cfg_on)
+    b = HilbertPDCTree(schema, cfg_off)
+    for coords, m in batch.iter_rows():
+        a.insert(coords, m)
+        b.insert(coords, m)
+    a.validate()
+    b.validate()
+    assert a.depth() == b.depth()
+    assert a.node_count() == b.node_count()

@@ -1,0 +1,169 @@
+"""End-to-end exactness: cluster answers vs a ground-truth oracle.
+
+A sequential session (concurrency 1) on one server must observe
+*exactly* the data it has already had acknowledged -- the paper's
+same-server freshness guarantee ("user sessions attached to the same
+server will observe a very low time between an insert being issued and
+its effect being visible in subsequent queries"; with a sequential
+session the visibility must be exact).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BalancerPolicy, ClusterConfig, VOLAPCluster
+from repro.core import ArrayStore, TreeConfig
+from repro.olap.query import Query
+from repro.workloads import QueryGenerator, TPCDSGenerator, tpcds_schema
+from repro.workloads.streams import Operation
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return tpcds_schema()
+
+
+def build_cluster(schema, seed=0, **balancer_kw):
+    gen = TPCDSGenerator(schema, seed=seed)
+    base = gen.batch(4000)
+    cfg = ClusterConfig(
+        num_workers=3,
+        num_servers=2,
+        tree_config=TreeConfig(leaf_capacity=32, fanout=8),
+        balancer=BalancerPolicy(**balancer_kw) if balancer_kw else BalancerPolicy(),
+    )
+    cluster = VOLAPCluster(schema, cfg)
+    cluster.bootstrap(base, shards_per_worker=2)
+    return cluster, gen, base
+
+
+def test_sequential_session_sees_exact_prefix(schema):
+    """Interleaved inserts and queries, strict sequential session: every
+    query result equals the oracle count for its box."""
+    cluster, gen, base = build_cluster(schema, seed=3)
+    oracle = ArrayStore.from_batch(schema, base)
+    qg = QueryGenerator(schema, base, seed=4)
+
+    rng = np.random.default_rng(5)
+    extra = gen.batch(150)
+    queries = [qg.random_query() for _ in range(40)]
+
+    ops = []
+    expected = []  # oracle count at submission, per query op index
+    oracle_pending = []
+    qi = ii = 0
+    for _ in range(190):
+        if (rng.random() < 0.75 and ii < 150) or qi >= 40:
+            ops.append(
+                Operation(
+                    "insert",
+                    coords=extra.coords[ii],
+                    measure=float(extra.measures[ii]),
+                )
+            )
+            oracle_pending.append(ii)
+            ii += 1
+        else:
+            q = queries[qi]
+            qi += 1
+            ops.append(Operation("query", query=q))
+            # at this point, with a sequential session, all prior inserts
+            # are acknowledged -> they must all be visible
+            for k in oracle_pending:
+                oracle.insert(extra.coords[k], float(extra.measures[k]))
+            oracle_pending.clear()
+            expected.append(oracle.count_in(q.box))
+
+    results = []
+    sess = cluster.session(0, concurrency=1)
+    sess.on_complete = lambda rec: (
+        results.append(rec.result_count) if rec.kind == "query" else None
+    )
+    sess.run_stream(ops)
+    cluster.run_until_clients_done()
+
+    assert len(results) == len(expected)
+    for got, want in zip(results, expected):
+        assert got == want
+
+
+def test_exactness_survives_concurrent_rebalancing(schema):
+    """The same exactness holds while the manager splits and migrates."""
+    cluster, gen, base = build_cluster(
+        schema,
+        seed=7,
+        max_shard_items=700,
+        imbalance_ratio=1.2,
+        min_migrate_items=100,
+        scan_period=0.05,
+    )
+    cluster.add_workers(1)  # trigger migrations during the stream
+    oracle = ArrayStore.from_batch(schema, base)
+    qg = QueryGenerator(schema, base, seed=8)
+
+    extra = gen.batch(120)
+    ops = []
+    expected = []
+    pending = []
+    rng = np.random.default_rng(9)
+    ii = 0
+    for step in range(160):
+        if rng.random() < 0.7 and ii < 120:
+            ops.append(
+                Operation(
+                    "insert", coords=extra.coords[ii], measure=1.0
+                )
+            )
+            pending.append(ii)
+            ii += 1
+        else:
+            q = qg.random_query()
+            ops.append(Operation("query", query=q))
+            for k in pending:
+                oracle.insert(extra.coords[k], 1.0)
+            pending.clear()
+            expected.append(oracle.count_in(q.box))
+
+    results = []
+    sess = cluster.session(0, concurrency=1)
+    sess.on_complete = lambda rec: (
+        results.append(rec.result_count) if rec.kind == "query" else None
+    )
+    sess.run_stream(ops)
+    cluster.run_until_clients_done()
+    cluster.run_for(5.0)
+
+    assert cluster.stats.splits + cluster.stats.migrations > 0, (
+        "rebalancing never happened; test is vacuous"
+    )
+    for got, want in zip(results, expected):
+        assert got == want
+
+
+def test_cross_server_eventual_exactness(schema):
+    """After quiescing past the sync period, *any* server answers exactly."""
+    cluster, gen, base = build_cluster(schema, seed=11)
+    extra = gen.batch(200)
+    sess = cluster.session(0, concurrency=8)
+    sess.run_stream(
+        [
+            Operation("insert", coords=extra.coords[i], measure=1.0)
+            for i in range(200)
+        ]
+    )
+    cluster.run_until_clients_done()
+    cluster.run_for(cluster.config.sync_period + 0.5)
+
+    oracle = ArrayStore.from_batch(schema, base)
+    for i in range(200):
+        oracle.insert(extra.coords[i], 1.0)
+    qg = QueryGenerator(schema, base, seed=12)
+    queries = [qg.random_query() for _ in range(15)]
+    for server_idx in (0, 1):
+        results = []
+        sess = cluster.session(server_idx, concurrency=1)
+        sess.on_complete = lambda rec: results.append(rec.result_count)
+        sess.run_stream([Operation("query", query=q) for q in queries])
+        cluster.run_until_clients_done()
+        for q, got in zip(queries, results):
+            assert got == oracle.count_in(q.box), f"server {server_idx}"

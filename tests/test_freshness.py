@@ -1,0 +1,98 @@
+"""Tests for the PBS freshness simulator (paper Fig 10)."""
+
+import numpy as np
+import pytest
+
+from repro.freshness import LatencyDistribution, PBSResult, PBSSimulator
+
+
+class TestLatencyDistribution:
+    def test_empirical_sampling(self):
+        dist = LatencyDistribution(samples=[0.001, 0.002, 0.003])
+        rng = np.random.default_rng(0)
+        s = dist.sample(1000, rng)
+        assert set(np.round(s, 6)) <= {0.001, 0.002, 0.003}
+        assert dist.mean() == pytest.approx(0.002)
+
+    def test_lognormal_mean_calibrated(self):
+        dist = LatencyDistribution(lognormal_mean=2e-3, cap=10.0)
+        assert dist.mean() == pytest.approx(2e-3, rel=0.1)
+
+    def test_lognormal_respects_cap(self):
+        dist = LatencyDistribution(cap=0.1)
+        rng = np.random.default_rng(1)
+        assert dist.sample(10_000, rng).max() <= 0.1
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(ValueError):
+            LatencyDistribution(samples=[])
+        with pytest.raises(ValueError):
+            LatencyDistribution(samples=[-1.0])
+
+
+class TestPBSSimulator:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PBSSimulator(insert_rate=0)
+
+    def test_missed_at_zero_matches_littles_law(self):
+        """E[missed at e=0] ~ rate x mean insert latency."""
+        sim = PBSSimulator(insert_rate=50_000, seed=2, expansion_miss_prob=0.0)
+        res = sim.missed_curve([0.0], trials=60)
+        expected = 50_000 * sim.latency.mean()
+        assert res.mean_missed[0] == pytest.approx(expected, rel=0.25)
+
+    def test_missed_decays_with_elapsed_time(self):
+        """Paper Fig 10a: missed inserts drop to ~zero by 0.25 s."""
+        sim = PBSSimulator(insert_rate=50_000, seed=3)
+        res = sim.missed_curve([0.0, 0.05, 0.25, 1.0], trials=60)
+        m = res.mean_missed
+        assert m[0] > 20
+        assert m[1] < m[0] / 10
+        assert m[2] < 1.0
+        assert m[3] < 1.0
+
+    def test_consistency_within_sync_period(self):
+        """Paper: consistency always observed in under 3 seconds."""
+        sim = PBSSimulator(insert_rate=50_000, sync_period=3.0, seed=4)
+        assert sim.prob_inconsistent(3.1, trials=300) == 0.0
+
+    def test_coverage_scales_missed(self):
+        sim = PBSSimulator(insert_rate=50_000, seed=5, expansion_miss_prob=0.0)
+        full = sim.missed_curve([0.0], coverage=1.0, trials=80).mean_missed[0]
+        sim2 = PBSSimulator(insert_rate=50_000, seed=5, expansion_miss_prob=0.0)
+        quarter = sim2.missed_curve([0.0], coverage=0.25, trials=80).mean_missed[0]
+        assert quarter == pytest.approx(full * 0.25, rel=0.3)
+
+    def test_pmf_sums_below_one(self):
+        sim = PBSSimulator(insert_rate=50_000, seed=6)
+        pmf = sim.missed_pmf(0.25, coverage=0.5, trials=300)
+        assert len(pmf) == 4
+        assert (pmf >= 0).all()
+        assert pmf.sum() <= 1.0
+
+    def test_pmf_decreasing_in_elapsed(self):
+        """Paper Fig 10b: probabilities shrink as elapsed time grows."""
+        sim = PBSSimulator(insert_rate=50_000, seed=7)
+        early = sim.missed_pmf(0.01, coverage=1.0, trials=400).sum()
+        late = sim.missed_pmf(2.0, coverage=1.0, trials=400).sum()
+        assert late <= early
+
+    def test_empirical_latencies_accepted(self):
+        dist = LatencyDistribution(samples=np.full(100, 0.002))
+        sim = PBSSimulator(
+            insert_rate=10_000, insert_latency=dist, seed=8,
+            expansion_miss_prob=0.0,
+        )
+        res = sim.missed_curve([0.0, 0.002, 0.01], trials=60)
+        # all latencies exactly 2ms: nothing can be missed past e=2ms
+        assert res.mean_missed[0] > 0
+        assert res.mean_missed[2] == 0.0
+
+    def test_time_to_fresh(self):
+        res = PBSResult(
+            np.array([0.0, 0.1, 0.2]), np.array([10.0, 0.4, 0.0]), 1.0
+        )
+        assert res.time_to_fresh() == 0.1
+        res2 = PBSResult(np.array([0.0]), np.array([10.0]), 1.0)
+        assert res2.time_to_fresh() == float("inf")

@@ -1,0 +1,174 @@
+"""Unit tests for dimension hierarchies and path encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.olap.hierarchy import (
+    Dimension,
+    Hierarchy,
+    Level,
+    bits_for,
+    flat_dimension,
+    uniform_dimension,
+)
+
+
+def make_date():
+    return Hierarchy("date", [Level("year", 8), Level("month", 12), Level("day", 31)])
+
+
+class TestBitsFor:
+    def test_small_values(self):
+        assert bits_for(1) == 1
+        assert bits_for(2) == 1
+        assert bits_for(3) == 2
+        assert bits_for(4) == 2
+        assert bits_for(5) == 3
+        assert bits_for(256) == 8
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits_for(0)
+
+
+class TestLevel:
+    def test_bits_property(self):
+        assert Level("month", 12).bits == 4
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(ValueError):
+            Level("x", 0)
+
+
+class TestHierarchy:
+    def test_total_bits(self):
+        h = make_date()
+        assert h.total_bits == 3 + 4 + 5
+
+    def test_encode_decode_roundtrip(self):
+        h = make_date()
+        for path in [(0, 0, 0), (7, 11, 30), (3, 5, 17)]:
+            assert h.decode(h.encode(path)) == path
+
+    def test_encode_rejects_out_of_range(self):
+        h = make_date()
+        with pytest.raises(ValueError):
+            h.encode((8, 0, 0))
+        with pytest.raises(ValueError):
+            h.encode((0, 12, 0))
+
+    def test_encode_rejects_wrong_length(self):
+        h = make_date()
+        with pytest.raises(ValueError):
+            h.encode((1, 2))
+
+    def test_encode_is_order_preserving_per_level(self):
+        h = make_date()
+        # Deeper paths under the same prefix sort after shallower siblings' start
+        a = h.encode((3, 0, 0))
+        b = h.encode((3, 11, 30))
+        c = h.encode((4, 0, 0))
+        assert a < b < c
+
+    def test_prefix_range_contains_descendants(self):
+        h = make_date()
+        lo, hi = h.prefix_range(1, 3)
+        for month in (0, 11):
+            for day in (0, 30):
+                assert lo <= h.encode((3, month, day)) <= hi
+
+    def test_prefix_range_disjoint_siblings(self):
+        h = make_date()
+        lo3, hi3 = h.prefix_range(1, 3)
+        lo4, hi4 = h.prefix_range(1, 4)
+        assert hi3 < lo4
+
+    def test_prefix_range_nested(self):
+        h = make_date()
+        ylo, yhi = h.prefix_range(1, 3)
+        mlo, mhi = h.prefix_range(2, h.encode_prefix((3, 7)))
+        assert ylo <= mlo <= mhi <= yhi
+
+    def test_prefix_of_inverts_prefix_range(self):
+        h = make_date()
+        v = h.encode((5, 9, 20))
+        assert h.prefix_of(v, 1) == 5
+        assert h.prefix_of(v, 2) == h.encode_prefix((5, 9))
+        assert h.prefix_of(v, 3) == v
+
+    def test_suffix_bits(self):
+        h = make_date()
+        assert h.suffix_bits(1) == 9
+        assert h.suffix_bits(2) == 5
+        assert h.suffix_bits(3) == 0
+        with pytest.raises(ValueError):
+            h.suffix_bits(0)
+
+    def test_leaf_cardinality(self):
+        h = make_date()
+        assert h.leaf_cardinality == 1 << 12
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ValueError):
+            Hierarchy("x", [])
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            Hierarchy("x", [Level("a", 2**40), Level("b", 2**40)])
+
+    def test_decode_rejects_out_of_range(self):
+        h = make_date()
+        with pytest.raises(ValueError):
+            h.decode(1 << 12)
+        with pytest.raises(ValueError):
+            h.decode(-1)
+
+    def test_equality_and_hash(self):
+        assert make_date() == make_date()
+        assert hash(make_date()) == hash(make_date())
+        other = Hierarchy("date", [Level("year", 9), Level("month", 12), Level("day", 31)])
+        assert make_date() != other
+
+
+class TestHelpers:
+    def test_flat_dimension(self):
+        d = flat_dimension("promo", 100)
+        assert d.num_levels == 1
+        assert d.total_bits == 7
+
+    def test_uniform_dimension(self):
+        d = uniform_dimension("x", [4, 4, 4])
+        assert d.num_levels == 3
+        assert d.total_bits == 6
+        assert d.hierarchy.level_names() == ("x_l0", "x_l1", "x_l2")
+
+
+@given(
+    st.lists(st.integers(min_value=2, max_value=64), min_size=1, max_size=5),
+    st.data(),
+)
+def test_roundtrip_property(fanouts, data):
+    """encode/decode round-trips for arbitrary hierarchies and paths."""
+    h = Hierarchy("h", [Level(f"l{i}", f) for i, f in enumerate(fanouts)])
+    path = tuple(
+        data.draw(st.integers(min_value=0, max_value=f - 1)) for f in fanouts
+    )
+    assert h.decode(h.encode(path)) == path
+
+
+@given(
+    st.lists(st.integers(min_value=2, max_value=32), min_size=2, max_size=4),
+    st.data(),
+)
+def test_prefix_range_property(fanouts, data):
+    """Every full path under a prefix encodes within the prefix's range."""
+    h = Hierarchy("h", [Level(f"l{i}", f) for i, f in enumerate(fanouts)])
+    depth = data.draw(st.integers(min_value=1, max_value=len(fanouts)))
+    path = tuple(
+        data.draw(st.integers(min_value=0, max_value=f - 1)) for f in fanouts
+    )
+    prefix = h.encode_prefix(path[:depth])
+    lo, hi = h.prefix_range(depth, prefix)
+    v = h.encode(path)
+    assert lo <= v <= hi
+    assert h.prefix_of(v, depth) == prefix

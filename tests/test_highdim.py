@@ -1,0 +1,99 @@
+"""Tests for the high-dimensional workload helpers (Fig 5 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.highdim import (
+    heterogeneous_schema,
+    latent_cluster_batch,
+    level_constrained_queries,
+)
+
+
+class TestHeterogeneousSchema:
+    def test_dimension_count(self):
+        s = heterogeneous_schema(7)
+        assert s.num_dims == 7
+
+    def test_unequal_level_widths(self):
+        s = heterogeneous_schema(5)
+        l1_bits = {d.hierarchy.levels[0].bits for d in s.dimensions}
+        assert len(l1_bits) > 1, "level-1 widths should differ across dims"
+
+    def test_two_levels_everywhere(self):
+        s = heterogeneous_schema(10)
+        assert all(d.num_levels == 2 for d in s.dimensions)
+
+
+class TestLatentClusterBatch:
+    def test_shapes(self):
+        s = heterogeneous_schema(6)
+        batch, centers = latent_cluster_batch(s, 500, clusters=7, seed=1)
+        assert len(batch) == 500
+        assert centers.shape == (7, 6)
+        batch.validate(s)
+
+    def test_level1_values_come_from_centers(self):
+        s = heterogeneous_schema(4)
+        batch, centers = latent_cluster_batch(s, 300, clusters=5, seed=2)
+        for j, dim in enumerate(s.dimensions):
+            h = dim.hierarchy
+            tops = {h.prefix_of(int(v), 1) for v in batch.coords[:, j]}
+            allowed = set(centers[:, j].tolist())
+            assert tops <= allowed
+
+    def test_dimensions_correlate(self):
+        """Items sharing a level-1 value in one dim overwhelmingly share
+        the cluster's values in other dims too."""
+        s = heterogeneous_schema(4)
+        batch, centers = latent_cluster_batch(s, 1000, clusters=8, seed=3)
+        h0 = s.dimensions[0].hierarchy
+        h1 = s.dimensions[1].hierarchy
+        t0 = np.array([h0.prefix_of(int(v), 1) for v in batch.coords[:, 0]])
+        t1 = np.array([h1.prefix_of(int(v), 1) for v in batch.coords[:, 1]])
+        # conditional concentration: for the most common t0 value, the
+        # t1 values concentrate on few cluster centers
+        top = np.bincount(t0).argmax()
+        cond = t1[t0 == top]
+        dominant = np.bincount(cond).max() / len(cond)
+        assert dominant > 0.3
+
+    def test_deterministic(self):
+        s = heterogeneous_schema(4)
+        a, ca = latent_cluster_batch(s, 100, seed=5)
+        b, cb = latent_cluster_batch(s, 100, seed=5)
+        assert np.array_equal(a.coords, b.coords)
+        assert np.array_equal(ca, cb)
+
+
+class TestLevelConstrainedQueries:
+    def test_queries_target_cluster_values(self):
+        s = heterogeneous_schema(6)
+        batch, centers = latent_cluster_batch(s, 400, clusters=4, seed=1)
+        boxes = level_constrained_queries(s, centers, 10, constrained_dims=2, seed=2)
+        assert len(boxes) == 10
+        for box in boxes:
+            constrained = [
+                j
+                for j in range(s.num_dims)
+                if box.lo[j] != 0 or box.hi[j] != s.leaf_limits[j]
+            ]
+            assert len(constrained) == 2
+
+    def test_queries_nonempty_on_average(self):
+        """Cluster-targeted queries usually hit data."""
+        s = heterogeneous_schema(6)
+        batch, centers = latent_cluster_batch(s, 2000, clusters=4, seed=3)
+        boxes = level_constrained_queries(s, centers, 20, seed=4)
+        hits = sum(
+            1 for b in boxes if b.contains_points(batch.coords).any()
+        )
+        assert hits >= 10
+
+    def test_constrained_dims_capped(self):
+        s = heterogeneous_schema(2)
+        batch, centers = latent_cluster_batch(s, 50, seed=5)
+        boxes = level_constrained_queries(
+            s, centers, 3, constrained_dims=5, seed=6
+        )
+        assert len(boxes) == 3  # does not crash when k > d

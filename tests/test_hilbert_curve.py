@@ -1,0 +1,165 @@
+"""Tests for the classic and compact Hilbert curves.
+
+The compact curve is tested against its ground-truth definition: the
+rank of a point among all valid domain points in padded-curve order
+(Hamilton & Rau-Chaplin's order-isomorphism theorem).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hilbert.compact_hilbert import (
+    CompactHilbertCurve,
+    HilbertCurve,
+    gray_code,
+    gray_code_inverse,
+)
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_inverse(self):
+        for i in range(256):
+            assert gray_code_inverse(gray_code(i)) == i
+
+    def test_adjacent_codes_differ_one_bit(self):
+        for i in range(255):
+            diff = gray_code(i) ^ gray_code(i + 1)
+            assert bin(diff).count("1") == 1
+
+
+class TestHilbertCurve:
+    @pytest.mark.parametrize("n,m", [(1, 5), (2, 4), (3, 3), (4, 2), (5, 2)])
+    def test_bijective(self, n, m):
+        c = HilbertCurve(n, m)
+        pts = {c.point(h) for h in range(1 << (n * m))}
+        assert len(pts) == 1 << (n * m)
+
+    @pytest.mark.parametrize("n,m", [(2, 4), (3, 3), (4, 2)])
+    def test_adjacency(self, n, m):
+        """Consecutive indices map to points at L1 distance exactly 1."""
+        c = HilbertCurve(n, m)
+        prev = c.point(0)
+        for h in range(1, 1 << (n * m)):
+            cur = c.point(h)
+            assert sum(abs(a - b) for a, b in zip(prev, cur)) == 1
+            prev = cur
+
+    @pytest.mark.parametrize("n,m", [(2, 5), (3, 4), (6, 2)])
+    def test_index_point_roundtrip(self, n, m):
+        c = HilbertCurve(n, m)
+        step = max(1, (1 << (n * m)) // 500)
+        for h in range(0, 1 << (n * m), step):
+            assert c.index(c.point(h)) == h
+
+    def test_2d_order_is_classic(self):
+        """First-order 2-d curve visits the quadrants in the textbook order."""
+        c = HilbertCurve(2, 1)
+        # Hamilton's convention: dimension j is bit j of l, giving the
+        # U-shaped visit order (0,0) -> (0,1) -> (1,1) -> (1,0).
+        assert [c.point(h) for h in range(4)] == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_out_of_range_rejected(self):
+        c = HilbertCurve(2, 3)
+        with pytest.raises(ValueError):
+            c.index((8, 0))
+        with pytest.raises(ValueError):
+            c.point(64)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            HilbertCurve(0, 3)
+        with pytest.raises(ValueError):
+            HilbertCurve(2, -1)
+
+
+class TestCompactHilbertCurve:
+    @pytest.mark.parametrize(
+        "widths",
+        [(1, 2), (2, 1), (2, 3), (3, 1, 2), (1, 1, 3), (2, 2, 2), (0, 2, 1)],
+    )
+    def test_index_equals_brute_force_rank(self, widths):
+        """Ground truth: compact index == rank in padded-curve order."""
+        cc = CompactHilbertCurve(widths)
+        for p in cc._iter_domain():
+            assert cc.index(p) == cc.brute_force_rank(p)
+
+    @pytest.mark.parametrize("widths", [(2, 3), (3, 1, 2), (2, 2, 2)])
+    def test_dense_bijection(self, widths):
+        """Compact indices are exactly 0 .. 2**total_bits - 1."""
+        cc = CompactHilbertCurve(widths)
+        idx = sorted(cc.index(p) for p in cc._iter_domain())
+        assert idx == list(range(1 << cc.total_bits))
+
+    @pytest.mark.parametrize("widths", [(1, 2), (2, 3), (3, 1, 2), (2, 2, 2)])
+    def test_point_inverts_index(self, widths):
+        cc = CompactHilbertCurve(widths)
+        for p in cc._iter_domain():
+            assert cc.point(cc.index(p)) == p
+
+    def test_equal_widths_matches_plain_curve_order(self):
+        """With equal widths the compact order equals the plain Hilbert order."""
+        cc = CompactHilbertCurve((3, 3))
+        plain = HilbertCurve(2, 3)
+        pts = list(cc._iter_domain())
+        assert sorted(pts, key=cc.index) == sorted(pts, key=plain.index)
+
+    def test_large_widths_do_not_overflow(self):
+        """Widths summing past 64 bits work via python ints."""
+        cc = CompactHilbertCurve((40, 40, 40))
+        p = (2**40 - 1, 0, 2**39)
+        h = cc.index(p)
+        assert 0 <= h < 1 << 120
+        assert cc.point(h) == p
+
+    def test_out_of_range_rejected(self):
+        cc = CompactHilbertCurve((2, 3))
+        with pytest.raises(ValueError):
+            cc.index((4, 0))
+        with pytest.raises(ValueError):
+            cc.index((0, 0, 0))
+        with pytest.raises(ValueError):
+            cc.point(1 << 5)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            CompactHilbertCurve(())
+        with pytest.raises(ValueError):
+            CompactHilbertCurve((0, 0))
+        with pytest.raises(ValueError):
+            CompactHilbertCurve((-1, 2))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=4),
+    st.data(),
+)
+def test_compact_order_isomorphism_property(widths, data):
+    """Property: compact index order == padded Hilbert index order."""
+    cc = CompactHilbertCurve(widths)
+    padded = HilbertCurve(cc.num_dims, cc.max_bits)
+    p = tuple(
+        data.draw(st.integers(min_value=0, max_value=(1 << w) - 1))
+        for w in widths
+    )
+    q = tuple(
+        data.draw(st.integers(min_value=0, max_value=(1 << w) - 1))
+        for w in widths
+    )
+    ci, cj = cc.index(p), cc.index(q)
+    pi, pj = padded.index(p), padded.index(q)
+    assert (ci < cj) == (pi < pj)
+    assert (ci == cj) == (p == q)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=2, max_value=4), st.data())
+def test_plain_curve_locality_property(n, m, data):
+    """Property: adjacent indices are adjacent points (unit L1 step)."""
+    c = HilbertCurve(n, m)
+    h = data.draw(st.integers(min_value=0, max_value=(1 << (n * m)) - 2))
+    a, b = c.point(h), c.point(h + 1)
+    assert sum(abs(x - y) for x, y in zip(a, b)) == 1

@@ -1,0 +1,150 @@
+"""Tests for hierarchical-ID expansion (paper Fig. 3) and key mapping."""
+
+import numpy as np
+import pytest
+
+from repro.hilbert.id_expansion import HilbertKeyMapper, IdExpansion
+from repro.olap.hierarchy import Dimension, Hierarchy, Level
+from repro.olap.schema import Schema
+
+
+def two_dim_schema():
+    """Mirror of the paper's Fig. 3: unequal per-level widths."""
+    d1 = Dimension(
+        "d1",
+        Hierarchy(
+            "d1",
+            [Level("a", 16), Level("b", 16), Level("c", 16), Level("d", 16)],
+        ),
+    )
+    d2 = Dimension(
+        "d2",
+        Hierarchy("d2", [Level("a", 16), Level("b", 2), Level("c", 2), Level("d", 4)]),
+    )
+    return Schema([d1, d2])
+
+
+class TestIdExpansion:
+    def test_level_maxbits(self):
+        exp = IdExpansion(two_dim_schema())
+        # level widths: d1 = 4,4,4,4 ; d2 = 4,1,1,2 -> max = 4,4,4,4
+        assert exp.level_maxbits == (4, 4, 4, 4)
+
+    def test_expanded_widths(self):
+        exp = IdExpansion(two_dim_schema())
+        assert exp.expanded_widths == (16, 16)
+
+    def test_d1_expansion_is_identity(self):
+        """Dimension whose levels already match the max is unchanged."""
+        schema = two_dim_schema()
+        exp = IdExpansion(schema)
+        v = schema.dimensions[0].hierarchy.encode((15, 15, 15, 15))
+        assert exp.expand_value(0, v) == v
+
+    def test_d2_levels_shifted_left(self):
+        """Narrower levels shift left to span the same numeric range (Fig. 3)."""
+        schema = two_dim_schema()
+        exp = IdExpansion(schema)
+        h2 = schema.dimensions[1].hierarchy
+        # path (0, 1, 0, 0): the level-2 bit must land at the top of its
+        # 4-bit expanded slot, i.e. shifted left by 3 within the slot.
+        v = h2.encode((0, 1, 0, 0))
+        expanded = exp.expand_value(1, v)
+        # slot layout (high to low): L1[4] L2[4] L3[4] L4[4]
+        assert expanded == 1 << (4 + 4 + 3)
+
+    def test_leaf_level_shift(self):
+        schema = two_dim_schema()
+        exp = IdExpansion(schema)
+        h2 = schema.dimensions[1].hierarchy
+        v = h2.encode((0, 0, 0, 3))  # L4 value 3 (2 bits) -> shifted left 2
+        assert exp.expand_value(1, v) == 3 << 2
+
+    def test_expansion_preserves_order_within_dimension(self):
+        schema = two_dim_schema()
+        exp = IdExpansion(schema)
+        h2 = schema.dimensions[1].hierarchy
+        values = [h2.encode(p) for p in [(0, 0, 0, 0), (0, 0, 0, 3), (0, 1, 1, 2), (15, 1, 1, 3)]]
+        expanded = [exp.expand_value(1, v) for v in values]
+        assert expanded == sorted(expanded)
+        assert len(set(expanded)) == len(expanded)
+
+    def test_expansion_is_injective_exhaustive(self):
+        """No two distinct ids collide after expansion (small dimension)."""
+        d = Dimension("x", Hierarchy("x", [Level("a", 3), Level("b", 5)]))
+        other = Dimension("y", Hierarchy("y", [Level("a", 8), Level("b", 8)]))
+        schema = Schema([d, other])
+        exp = IdExpansion(schema)
+        seen = set()
+        for v in range(d.hierarchy.leaf_cardinality):
+            e = exp.expand_value(0, v)
+            assert e not in seen
+            seen.add(e)
+            assert 0 <= e < (1 << exp.expanded_widths[0])
+
+    def test_uneven_level_counts(self):
+        """A dimension with fewer levels contributes fewer level slots."""
+        deep = Dimension(
+            "deep", Hierarchy("deep", [Level("a", 4), Level("b", 4), Level("c", 4)])
+        )
+        shallow = Dimension("shallow", Hierarchy("shallow", [Level("a", 16)]))
+        schema = Schema([deep, shallow])
+        exp = IdExpansion(schema)
+        # level max widths are (4, 2, 2): deep's L1 widens to 4 bits, and
+        # shallow (one level) only occupies the first slot.
+        assert exp.level_maxbits == (4, 2, 2)
+        assert exp.expanded_widths == (8, 4)
+
+    def test_expand_point(self):
+        schema = two_dim_schema()
+        exp = IdExpansion(schema)
+        pt = schema.encode_point([(1, 2, 3, 4), (5, 1, 0, 2)])
+        ex = exp.expand_point(pt)
+        assert ex == (
+            exp.expand_value(0, int(pt[0])),
+            exp.expand_value(1, int(pt[1])),
+        )
+
+
+class TestHilbertKeyMapper:
+    def test_total_bits(self):
+        mapper = HilbertKeyMapper(two_dim_schema())
+        assert mapper.total_bits == 32
+
+    def test_keys_injective_on_samples(self):
+        schema = two_dim_schema()
+        mapper = HilbertKeyMapper(schema)
+        rng = np.random.default_rng(7)
+        limits = schema.leaf_limits
+        coords = rng.integers(0, limits + 1, size=(300, 2), dtype=np.int64)
+        keys = mapper.keys(coords)
+        uniq = {tuple(c) for c in coords.tolist()}
+        assert len(set(keys)) == len(uniq)
+
+    def test_keys_in_range(self):
+        schema = two_dim_schema()
+        mapper = HilbertKeyMapper(schema)
+        rng = np.random.default_rng(3)
+        coords = rng.integers(0, schema.leaf_limits + 1, size=(100, 2), dtype=np.int64)
+        for k in mapper.keys(coords):
+            assert 0 <= k < (1 << 32)
+
+    def test_locality_beats_random_order(self):
+        """Hilbert ordering groups nearby points better than random order.
+
+        Sort points by Hilbert key and measure the mean L1 distance of
+        neighbours in that order; it must be much smaller than for a
+        random order.
+        """
+        schema = two_dim_schema()
+        mapper = HilbertKeyMapper(schema)
+        rng = np.random.default_rng(11)
+        coords = rng.integers(
+            0, schema.leaf_limits + 1, size=(400, 2), dtype=np.int64
+        )
+        keys = mapper.keys(coords)
+        order = np.argsort(np.array([float(k) for k in keys]))
+        sorted_pts = coords[order].astype(np.float64)
+        hops_h = np.abs(np.diff(sorted_pts, axis=0)).sum() / len(coords)
+        hops_r = np.abs(np.diff(coords.astype(np.float64), axis=0)).sum() / len(coords)
+        assert hops_h < hops_r * 0.5

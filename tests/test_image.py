@@ -1,0 +1,164 @@
+"""Tests for the server local image (modified PDC tree over shards)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.image import LocalImage, ShardInfo
+from repro.olap.keys import Box
+
+
+def box(lo, hi):
+    return Box(np.array(lo, dtype=np.int64), np.array(hi, dtype=np.int64))
+
+
+def info(sid, lo, hi, worker=0):
+    return ShardInfo(sid, box(lo, hi), worker)
+
+
+class TestMembership:
+    def test_add_and_get(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [10, 10]))
+        assert 1 in img
+        assert len(img) == 1
+        assert img.get(1).worker_id == 0
+
+    def test_duplicate_rejected(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [1, 1]))
+        with pytest.raises(ValueError):
+            img.add_shard(info(1, [0, 0], [1, 1]))
+
+    def test_remove(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [1, 1]))
+        img.add_shard(info(2, [5, 5], [9, 9]))
+        img.remove_shard(1)
+        assert 1 not in img and 2 in img
+        img.validate()
+
+    def test_many_shards_force_splits(self):
+        img = LocalImage(2, fanout=4)
+        for i in range(40):
+            x = (i % 8) * 10
+            y = (i // 8) * 10
+            img.add_shard(info(i, [x, y], [x + 5, y + 5]))
+        assert len(img) == 40
+        img.validate()
+
+    def test_wire_roundtrip(self):
+        i = info(7, [1, 2], [3, 4], worker=3)
+        i.size = 99
+        j = ShardInfo.from_wire(i.to_wire())
+        assert j.shard_id == 7 and j.worker_id == 3 and j.size == 99
+        assert j.box == i.box
+
+
+class TestRouting:
+    def test_route_insert_picks_covering_shard(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [10, 10]))
+        img.add_shard(info(2, [20, 20], [30, 30]))
+        assert img.route_insert(np.array([5, 5])).shard_id == 1
+        assert img.route_insert(np.array([25, 25])).shard_id == 2
+
+    def test_route_insert_expands_boxes(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [10, 10]))
+        img.add_shard(info(2, [100, 100], [110, 110]))
+        got = img.route_insert(np.array([12, 12]))
+        assert got.shard_id == 1  # closer: least overlap/enlargement
+        assert img.get(1).box.contains_point(np.array([12, 12]))
+        assert 1 in img.dirty
+
+    def test_route_insert_no_dirty_when_covered(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [10, 10]))
+        img.route_insert(np.array([5, 5]))
+        assert img.dirty == set()
+
+    def test_route_insert_counts_size(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [10, 10]))
+        img.route_insert(np.array([1, 1]))
+        img.route_insert(np.array([2, 2]))
+        assert img.get(1).size == 2
+
+    def test_route_on_empty_image_raises(self):
+        with pytest.raises(RuntimeError):
+            LocalImage(2).route_insert(np.array([0, 0]))
+
+
+class TestSearch:
+    def test_search_finds_intersecting(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [10, 10]))
+        img.add_shard(info(2, [20, 0], [30, 10]))
+        img.add_shard(info(3, [0, 20], [10, 30]))
+        hits = {s.shard_id for s in img.search(box([5, 5], [25, 8]))}
+        assert hits == {1, 2}
+
+    def test_search_all(self):
+        img = LocalImage(2, fanout=3)
+        for i in range(20):
+            img.add_shard(info(i, [i * 10, 0], [i * 10 + 5, 5]))
+        hits = img.search(box([0, 0], [1000, 1000]))
+        assert len(hits) == 20
+
+    def test_search_none(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [10, 10]))
+        assert img.search(box([50, 50], [60, 60])) == []
+
+
+class TestExpansion:
+    def test_expand_shard_bottom_up(self):
+        img = LocalImage(2, fanout=2)
+        for i in range(8):
+            img.add_shard(info(i, [i * 10, 0], [i * 10 + 5, 5]))
+        changed = img.expand_shard(3, box([200, 200], [210, 210]))
+        assert changed
+        # the shard must now be discoverable through the expanded region
+        hits = {s.shard_id for s in img.search(box([205, 205], [206, 206]))}
+        assert 3 in hits
+
+    def test_expand_noop(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [10, 10]))
+        assert not img.expand_shard(1, box([2, 2], [3, 3]))
+
+    def test_update_worker_and_size(self):
+        img = LocalImage(2)
+        img.add_shard(info(1, [0, 0], [1, 1], worker=0))
+        img.update_worker(1, 5)
+        img.update_size(1, 123)
+        assert img.get(1).worker_id == 5
+        assert img.get(1).size == 123
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=500),
+            st.integers(min_value=0, max_value=500),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_route_insert_always_lands_in_reported_shard(corners):
+    """Property: after routing, the chosen shard's box covers the point,
+    and searching any box containing the point finds that shard."""
+    img = LocalImage(2, fanout=4)
+    for i, (x, y) in enumerate(corners[: max(1, len(corners) // 2)]):
+        img.add_shard(info(i, [x, y], [x + 20, y + 20]))
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        pt = rng.integers(0, 521, size=2)
+        chosen = img.route_insert(pt)
+        assert chosen.box.contains_point(pt)
+        hits = {s.shard_id for s in img.search(Box(pt, pt))}
+        assert chosen.shard_id in hits
+    img.validate()

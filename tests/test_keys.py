@@ -1,0 +1,182 @@
+"""Unit and property tests for Box (MBR) keys."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.olap.keys import Box, point_box, union_all
+
+
+def box(lo, hi):
+    return Box(np.array(lo, dtype=np.int64), np.array(hi, dtype=np.int64))
+
+
+class TestConstruction:
+    def test_empty_is_empty(self):
+        assert Box.empty(3).is_empty()
+        assert Box.empty(3).volume() == 0.0
+
+    def test_from_point(self):
+        b = Box.from_point(np.array([1, 2, 3]))
+        assert not b.is_empty()
+        assert b.volume() == 1.0
+
+    def test_from_points(self):
+        pts = np.array([[0, 5], [3, 1], [2, 2]])
+        b = Box.from_points(pts)
+        assert b == box([0, 1], [3, 5])
+
+    def test_from_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Box.from_points(np.empty((0, 2), dtype=np.int64))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box(np.array([1, 2]), np.array([3]))
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        b = box([0, 0], [10, 10])
+        assert b.contains_point(np.array([5, 5]))
+        assert b.contains_point(np.array([0, 10]))
+        assert not b.contains_point(np.array([11, 5]))
+
+    def test_contains_points_vectorized(self):
+        b = box([0, 0], [4, 4])
+        pts = np.array([[0, 0], [4, 4], [5, 0], [2, 2]])
+        assert b.contains_points(pts).tolist() == [True, True, False, True]
+
+    def test_contains_box(self):
+        outer = box([0, 0], [10, 10])
+        inner = box([2, 3], [5, 6])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+        assert outer.contains_box(Box.empty(2))
+
+    def test_intersects(self):
+        a = box([0, 0], [5, 5])
+        b2 = box([5, 5], [9, 9])  # share corner point
+        c = box([6, 6], [9, 9])
+        assert a.intersects(b2)
+        assert not a.intersects(c)
+        assert not a.intersects(Box.empty(2))
+
+
+class TestMeasures:
+    def test_volume_counts_lattice_points(self):
+        assert box([0, 0], [1, 2]).volume() == 6.0
+
+    def test_log_volume(self):
+        assert box([0], [7]).log_volume() == pytest.approx(3.0)
+        assert Box.empty(2).log_volume() == float("-inf")
+
+    def test_overlap_volume(self):
+        a = box([0, 0], [4, 4])
+        b2 = box([3, 3], [6, 6])
+        assert a.overlap_volume(b2) == 4.0  # 2x2 lattice points
+        assert a.overlap_volume(box([9, 9], [10, 10])) == 0.0
+
+    def test_log_overlap_volume_disjoint(self):
+        a = box([0, 0], [4, 4])
+        assert a.log_overlap_volume(box([9, 9], [10, 10])) == float("-inf")
+
+    def test_margin(self):
+        assert box([0, 0], [1, 2]).margin() == 5.0
+
+    def test_enlargement(self):
+        a = box([0, 0], [1, 1])
+        b2 = box([3, 0], [3, 1])
+        assert a.enlargement(b2) == 8.0 - 4.0
+
+
+class TestCombination:
+    def test_union(self):
+        a = box([0, 0], [1, 1])
+        b2 = box([3, 3], [4, 4])
+        assert a.union(b2) == box([0, 0], [4, 4])
+
+    def test_union_with_empty(self):
+        a = box([0, 0], [1, 1])
+        assert a.union(Box.empty(2)) == a
+        assert Box.empty(2).union(a) == a
+
+    def test_intersection(self):
+        a = box([0, 0], [5, 5])
+        b2 = box([3, 3], [8, 8])
+        assert a.intersection(b2) == box([3, 3], [5, 5])
+        assert a.intersection(box([9, 9], [10, 10])).is_empty()
+
+    def test_expand_inplace_reports_change(self):
+        a = box([0, 0], [5, 5])
+        assert not a.expand_inplace(box([1, 1], [2, 2]))
+        assert a.expand_inplace(box([0, 0], [6, 5]))
+        assert a == box([0, 0], [6, 5])
+
+    def test_expand_point_inplace(self):
+        a = Box.empty(2)
+        assert a.expand_point_inplace(np.array([3, 4]))
+        assert a == box([3, 4], [3, 4])
+        assert not a.expand_point_inplace(np.array([3, 4]))
+
+    def test_union_all(self):
+        boxes = [box([0, 0], [1, 1]), box([5, 5], [6, 6])]
+        assert union_all(boxes) == box([0, 0], [6, 6])
+        assert union_all([], num_dims=2).is_empty()
+        with pytest.raises(ValueError):
+            union_all([])
+
+
+class TestMisc:
+    def test_roundtrip_tuple(self):
+        a = box([1, 2], [3, 4])
+        assert Box.from_tuple(a.to_tuple()) == a
+
+    def test_point_box(self):
+        assert point_box([1, 2]).volume() == 1.0
+
+    def test_copy_is_independent(self):
+        a = box([0, 0], [1, 1])
+        b2 = a.copy()
+        b2.expand_point_inplace(np.array([9, 9]))
+        assert a == box([0, 0], [1, 1])
+
+    def test_empty_boxes_equal(self):
+        assert Box.empty(2) == Box.empty(2)
+
+
+coords = st.lists(
+    st.integers(min_value=0, max_value=1000), min_size=3, max_size=3
+)
+
+
+@given(coords, coords, coords)
+def test_union_contains_both(a, b, c):
+    """Property: the union of boxes contains both operands."""
+    b1 = Box.from_points(np.array([a, b]))
+    b2 = Box.from_points(np.array([b, c]))
+    u = b1.union(b2)
+    assert u.contains_box(b1)
+    assert u.contains_box(b2)
+
+
+@given(coords, coords, coords, coords)
+def test_overlap_symmetric_and_bounded(a, b, c, d):
+    """Property: overlap is symmetric and no larger than either volume."""
+    b1 = Box.from_points(np.array([a, b]))
+    b2 = Box.from_points(np.array([c, d]))
+    ov = b1.overlap_volume(b2)
+    assert ov == b2.overlap_volume(b1)
+    assert ov <= min(b1.volume(), b2.volume()) + 1e-9
+
+
+@given(coords, coords, coords)
+def test_intersection_consistent_with_contains(a, b, p):
+    """Property: a point is in the intersection iff it is in both boxes."""
+    b1 = Box.from_points(np.array([a, b]))
+    b2 = Box.from_points(np.array([b, a]))
+    inter = b1.intersection(b2)
+    pt = np.array(p)
+    assert inter.contains_point(pt) == (
+        b1.contains_point(pt) and b2.contains_point(pt)
+    )

@@ -1,0 +1,184 @@
+"""Unit and property tests for MDS (interval-set) keys."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.olap.keys import Box
+from repro.olap.mds import MDS
+
+
+def box(lo, hi):
+    return Box(np.array(lo, dtype=np.int64), np.array(hi, dtype=np.int64))
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = MDS.empty(2)
+        assert m.is_empty()
+        assert m.num_dims == 2
+
+    def test_from_point(self):
+        m = MDS.from_point(np.array([3, 5]))
+        assert m.covers_point([3, 5])
+        assert not m.covers_point([3, 6])
+
+    def test_from_box(self):
+        m = MDS.from_box(box([0, 0], [4, 4]))
+        assert m.covers_point([2, 2])
+        assert m.mbr() == box([0, 0], [4, 4])
+
+    def test_explicit_intervals(self):
+        m = MDS([[(0, 3), (10, 12)], [(5, 5)]])
+        assert m.covers_point([2, 5])
+        assert m.covers_point([11, 5])
+        assert not m.covers_point([5, 5])
+
+    def test_rejects_overlapping_intervals(self):
+        with pytest.raises(ValueError):
+            MDS([[(0, 5), (3, 8)]])
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            MDS([], max_intervals=0)
+
+
+class TestExpansion:
+    def test_expand_point_adds_interval(self):
+        m = MDS.from_point(np.array([0, 0]))
+        assert m.expand_point_inplace([10, 0])
+        assert m.covers_point([10, 0])
+        assert not m.covers_point([5, 0])  # gap preserved: MDS is tight
+
+    def test_expand_point_merges_adjacent(self):
+        m = MDS.from_point(np.array([4]))
+        m.expand_point_inplace([5])
+        assert m.intervals[0] == [[4, 5]]
+
+    def test_expand_point_noop_when_covered(self):
+        m = MDS.from_box(box([0], [9]))
+        assert not m.expand_point_inplace([5])
+
+    def test_cap_forces_coalescing(self):
+        m = MDS.empty(1, max_intervals=2)
+        m.expand_point_inplace([0])
+        m.expand_point_inplace([10])
+        m.expand_point_inplace([12])  # closest to 10 -> merged with it
+        assert m.intervals[0] == [[0, 0], [10, 12]]
+        m.expand_point_inplace([100])
+        assert len(m.intervals[0]) == 2
+
+    def test_expand_with_other_mds(self):
+        a = MDS.from_point(np.array([0, 0]))
+        b = MDS.from_point(np.array([9, 9]))
+        assert a.expand_inplace(b)
+        assert a.covers_point([9, 9])
+        assert a.covers_point([0, 0])
+
+    def test_expand_box(self):
+        m = MDS.empty(2)
+        assert m.expand_box_inplace(box([1, 1], [2, 2]))
+        assert m.covers_point([2, 1])
+        assert not m.expand_box_inplace(box([1, 1], [2, 2]))
+
+
+class TestPredicates:
+    def test_intersects_box(self):
+        m = MDS([[(0, 3), (10, 12)], [(0, 9)]])
+        assert m.intersects_box(box([2, 5], [4, 6]))
+        assert not m.intersects_box(box([5, 0], [8, 9]))  # falls in the gap
+
+    def test_within_box(self):
+        m = MDS([[(2, 3), (5, 6)], [(1, 1)]])
+        assert m.within_box(box([0, 0], [9, 9]))
+        assert not m.within_box(box([3, 0], [9, 9]))
+
+    def test_empty_behaviour(self):
+        m = MDS.empty(2)
+        assert not m.intersects_box(box([0, 0], [9, 9]))
+        assert m.within_box(box([0, 0], [9, 9]))
+
+
+class TestMeasures:
+    def test_side_lengths_sum_intervals(self):
+        m = MDS([[(0, 3), (10, 12)]])
+        assert m.side_lengths().tolist() == [7.0]
+
+    def test_overlap_lengths(self):
+        a = MDS([[(0, 5), (10, 15)]])
+        b = MDS([[(4, 11)]])
+        assert a.overlap_lengths(b).tolist() == [2.0 + 2.0]
+
+    def test_log_overlap_volume_disjoint(self):
+        a = MDS([[(0, 5)], [(0, 5)]])
+        b = MDS([[(7, 9)], [(0, 5)]])
+        assert a.log_overlap_volume(b) == float("-inf")
+
+    def test_log_volume(self):
+        m = MDS([[(0, 7)], [(0, 3)]])
+        assert m.log_volume() == pytest.approx(3.0 + 2.0)
+
+
+class TestTightness:
+    def test_mds_tighter_than_mbr_on_clustered_data(self):
+        """The motivating property: two clusters -> MBR covers the gap, MDS not."""
+        m = MDS.empty(1)
+        for v in [0, 1, 2, 100, 101, 102]:
+            m.expand_point_inplace([v])
+        assert m.side_lengths()[0] == 6.0
+        mbr = m.mbr()
+        assert mbr.side_lengths()[0] == 103.0
+
+    def test_copy_independent(self):
+        a = MDS.from_point(np.array([1]))
+        b = a.copy()
+        b.expand_point_inplace([50])
+        assert not a.covers_point([50])
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=30),
+    st.integers(min_value=1, max_value=6),
+)
+def test_mds_always_covers_inserted_points(values, cap):
+    """Property: every inserted point stays covered regardless of coalescing."""
+    m = MDS.empty(1, max_intervals=cap)
+    for v in values:
+        m.expand_point_inplace([v])
+        assert m.covers_point([v])
+    for v in values:
+        assert m.covers_point([v])
+    assert len(m.intervals[0]) <= cap
+    # intervals stay sorted and disjoint
+    ivs = m.intervals[0]
+    for a, b in zip(ivs, ivs[1:]):
+        assert a[1] < b[0] - 1 or a[1] < b[0]
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20),
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20),
+)
+def test_union_covers_both(xs, ys):
+    """Property: union of two MDS covers everything either one covered."""
+    a = MDS.empty(1)
+    b = MDS.empty(1)
+    for x in xs:
+        a.expand_point_inplace([x])
+    for y in ys:
+        b.expand_point_inplace([y])
+    u = a.union(b)
+    for v in xs + ys:
+        assert u.covers_point([v])
+
+
+@given(st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=15))
+def test_mbr_contains_mds(values):
+    """Property: the MBR of an MDS contains every covered point."""
+    m = MDS.empty(1, max_intervals=3)
+    for v in values:
+        m.expand_point_inplace([v])
+    mbr = m.mbr()
+    for v in range(61):
+        if m.covers_point([v]):
+            assert mbr.contains_point(np.array([v]))

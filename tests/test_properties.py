@@ -1,0 +1,130 @@
+"""Cross-cutting property tests tying modules together."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ArrayStore, HilbertPDCTree, TreeConfig
+from repro.cluster.simclock import ServicePool, SimClock
+from repro.olap.query import full_query
+from repro.olap.records import RecordBatch
+from repro.olap.rollup import rollup
+
+from .conftest import make_schema, random_batch
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=9999),
+    n=st.integers(min_value=1, max_value=200),
+    depth=st.integers(min_value=1, max_value=2),
+)
+def test_rollup_partition_property(seed, n, depth):
+    """Property: a roll-up partitions the database -- group counts sum to
+    the total and every item belongs to exactly one group."""
+    schema = make_schema([[4, 4], [8]])
+    batch = random_batch(schema, n, seed=seed)
+    tree = HilbertPDCTree.from_batch(schema, batch)
+    groups = rollup(tree, "d0", depth)
+    assert sum(a.count for a in groups.values()) == n
+    h = schema.dimension("d0").hierarchy
+    for coords in batch.coords:
+        path = h.decode(int(coords[0]))[:depth]
+        assert path in groups
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=9999),
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=99)),
+        min_size=1,
+        max_size=60,
+    ),
+)
+def test_tree_oracle_equivalence_under_interleaving(seed, ops):
+    """Property: arbitrary insert/query interleavings agree with the
+    flat-scan oracle at every step (small capacities force splits)."""
+    schema = make_schema([[4, 4], [4, 4]])
+    pool = random_batch(schema, 100, seed=seed)
+    cfg = TreeConfig(leaf_capacity=4, fanout=3)
+    tree = HilbertPDCTree(schema, cfg)
+    oracle = ArrayStore(schema)
+    boxes = [full_query(schema).box]
+    from .conftest import random_boxes
+
+    boxes += random_boxes(schema, 3, seed=seed)
+    for is_insert, k in ops:
+        if is_insert:
+            tree.insert(pool.coords[k], float(pool.measures[k]))
+            oracle.insert(pool.coords[k], float(pool.measures[k]))
+        else:
+            box = boxes[k % len(boxes)]
+            got, _ = tree.query(box)
+            want, _ = oracle.query(box)
+            assert got.count == want.count
+            assert got.total == pytest.approx(want.total)
+    tree.validate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=40
+    )
+)
+def test_simclock_order_property(delays):
+    """Property: callbacks run in non-decreasing virtual time regardless
+    of scheduling order."""
+    clock = SimClock()
+    seen = []
+    for d in delays:
+        clock.after(d, lambda: seen.append(clock.now))
+    clock.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    services=st.lists(
+        st.floats(min_value=0.01, max_value=2.0), min_size=1, max_size=30
+    ),
+    threads=st.integers(min_value=1, max_value=8),
+)
+def test_servicepool_conservation_property(services, threads):
+    """Property: total busy time equals the sum of service times, and the
+    makespan is bounded by the optimal bin-packing bounds."""
+    clock = SimClock()
+    pool = ServicePool(clock, threads)
+    finishes = []
+
+    def submit_all():
+        for s in services:
+            finishes.append(pool.submit(s, lambda: None))
+
+    clock.at(0.0, submit_all)
+    clock.run()
+    total = sum(services)
+    assert pool.busy_time == pytest.approx(total)
+    makespan = max(finishes)
+    assert makespan >= total / threads - 1e-9  # cannot beat perfect split
+    assert makespan <= total + 1e-9  # cannot be worse than serial
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=9999))
+def test_serialize_preserves_everything(seed):
+    """Property: SerializeShard/DeserializeShard is lossless for every
+    query, not just counts."""
+    schema = make_schema([[8], [8]])
+    batch = random_batch(schema, 64, seed=seed)
+    tree = HilbertPDCTree.from_batch(schema, batch)
+    clone = HilbertPDCTree.deserialize(schema, tree.serialize(), tree.config)
+    from .conftest import random_boxes
+
+    for box in random_boxes(schema, 5, seed=seed + 1):
+        a, _ = tree.query(box)
+        b, _ = clone.query(box)
+        assert a.count == b.count
+        assert a.total == pytest.approx(b.total)

@@ -1,0 +1,145 @@
+"""Tests for roll-up / pivot / drill-down grouped aggregates."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayStore, HilbertPDCTree
+from repro.olap.keys import Box
+from repro.olap.query import query_from_levels
+from repro.olap.rollup import drilldown_path, group_boxes, pivot, rollup
+from repro.workloads import TPCDSGenerator, tpcds_schema
+
+from .conftest import make_schema, random_batch
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    schema = tpcds_schema()
+    batch = TPCDSGenerator(schema, seed=5).batch(8000)
+    tree = HilbertPDCTree.from_batch(schema, batch)
+    oracle = ArrayStore.from_batch(schema, batch)
+    return schema, batch, tree, oracle
+
+
+class TestGroupBoxes:
+    def test_boxes_partition_dimension(self, loaded):
+        schema, *_ = loaded
+        boxes = list(group_boxes(schema, "date", 1))
+        h = schema.dimension("date").hierarchy
+        assert len(boxes) == h.levels[0].fanout
+        d = schema.index_of("date")
+        # consecutive group boxes tile the dimension without overlap
+        ordered = sorted(boxes, key=lambda pb: int(pb[1].lo[d]))
+        for (_, a), (_, b) in zip(ordered, ordered[1:]):
+            assert a.hi[d] + 1 == b.lo[d]
+
+    def test_within_clips(self, loaded):
+        schema, *_ = loaded
+        q = query_from_levels(schema, {"item": (1, (2,))})
+        boxes = list(group_boxes(schema, "date", 1, within=q.box))
+        d = schema.index_of("item")
+        for _, b in boxes:
+            assert b.lo[d] == q.box.lo[d]
+            assert b.hi[d] == q.box.hi[d]
+
+    def test_bad_depth(self, loaded):
+        schema, *_ = loaded
+        with pytest.raises(ValueError):
+            list(group_boxes(schema, "date", 9))
+
+
+class TestRollup:
+    def test_rollup_totals_match_database(self, loaded):
+        schema, batch, tree, _ = loaded
+        by_year = rollup(tree, "date", 1)
+        assert sum(a.count for a in by_year.values()) == len(batch)
+        assert sum(a.total for a in by_year.values()) == pytest.approx(
+            float(batch.measures.sum())
+        )
+
+    def test_rollup_matches_oracle_per_group(self, loaded):
+        schema, batch, tree, oracle = loaded
+        by_cat = rollup(tree, "item", 1)
+        for path, agg in by_cat.items():
+            want, _ = oracle.query(
+                next(
+                    b
+                    for p, b in group_boxes(schema, "item", 1)
+                    if p == path
+                )
+            )
+            assert agg.count == want.count
+
+    def test_rollup_depth2(self, loaded):
+        schema, batch, tree, _ = loaded
+        by_month = rollup(tree, "date", 2)
+        assert sum(a.count for a in by_month.values()) == len(batch)
+        assert all(len(p) == 2 for p in by_month)
+
+    def test_rollup_within_region(self, loaded):
+        schema, batch, tree, _ = loaded
+        region = query_from_levels(schema, {"item": (1, (0,))})
+        by_year = rollup(tree, "date", 1, within=region.box)
+        total, _ = tree.query(region.box)
+        assert sum(a.count for a in by_year.values()) == total.count
+
+    def test_keep_empty(self, loaded):
+        schema, _, tree, _ = loaded
+        h = schema.dimension("date").hierarchy
+        full = rollup(tree, "date", 1, keep_empty=True)
+        assert len(full) == h.levels[0].fanout
+
+
+class TestPivot:
+    def test_pivot_totals(self, loaded):
+        schema, batch, tree, _ = loaded
+        table = pivot(tree, "date", 1, "item", 1)
+        assert sum(a.count for a in table.values()) == len(batch)
+
+    def test_pivot_consistent_with_rollups(self, loaded):
+        schema, _, tree, _ = loaded
+        table = pivot(tree, "date", 1, "item", 1)
+        by_year = rollup(tree, "date", 1)
+        for ypath, agg in by_year.items():
+            row_total = sum(
+                a.count for (r, _c), a in table.items() if r == ypath
+            )
+            assert row_total == agg.count
+
+    def test_same_dim_rejected(self, loaded):
+        _, _, tree, _ = loaded
+        with pytest.raises(ValueError):
+            pivot(tree, "date", 1, "date", 2)
+
+
+class TestDrilldown:
+    def test_children_sum_to_parent(self, loaded):
+        schema, _, tree, _ = loaded
+        by_year = rollup(tree, "date", 1)
+        year = next(iter(by_year))
+        months = drilldown_path(tree, "date", year)
+        assert sum(a.count for a in months.values()) == by_year[year].count
+        assert all(p[0] == year[0] for p in months)
+
+    def test_below_leaf_rejected(self, loaded):
+        schema, _, tree, _ = loaded
+        with pytest.raises(ValueError):
+            drilldown_path(tree, "promotion", (0,))
+
+    def test_empty_path_is_top_rollup(self, loaded):
+        schema, _, tree, _ = loaded
+        top = drilldown_path(tree, "item", ())
+        assert top == rollup(tree, "item", 1)
+
+
+def test_rollup_on_array_store():
+    """Roll-up is store-agnostic (works on the scan baseline too)."""
+    schema = make_schema([[4, 4], [4, 4]])
+    batch = random_batch(schema, 500, seed=3)
+    store = ArrayStore.from_batch(schema, batch)
+    tree = HilbertPDCTree.from_batch(schema, batch)
+    a = rollup(store, "d0", 1)
+    b = rollup(tree, "d0", 1)
+    assert {p: x.count for p, x in a.items()} == {
+        p: x.count for p, x in b.items()
+    }

@@ -1,0 +1,104 @@
+"""Tests for the load-balancing shard operations (paper Section III-E):
+SplitQuery, Split, SerializeShard / DeserializeShard, on every store."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArrayStore,
+    HilbertPDCTree,
+    HilbertRTree,
+    PDCTree,
+    RTree,
+)
+from repro.core.base import Hyperplane
+from repro.olap.query import full_query
+from repro.olap.records import RecordBatch
+
+from .conftest import make_schema, random_batch
+
+ALL_STORES = [ArrayStore, HilbertPDCTree, PDCTree, RTree, HilbertRTree]
+
+
+@pytest.mark.parametrize("cls", ALL_STORES)
+class TestSplitQuery:
+    def test_split_query_balances(self, cls, schema):
+        batch = random_batch(schema, 800, seed=1)
+        store = cls.from_batch(schema, batch)
+        plane = store.split_query()
+        mask = plane.side_mask(batch.coords)
+        low = int(mask.sum())
+        # approximately equal halves (paper: "approximately equal size")
+        assert 0.25 * len(batch) <= low <= 0.75 * len(batch)
+
+    def test_split_partitions_data(self, cls, schema):
+        batch = random_batch(schema, 500, seed=2)
+        store = cls.from_batch(schema, batch)
+        plane = store.split_query()
+        a, b = store.split(plane)
+        assert len(a) + len(b) == len(batch)
+        assert len(a) > 0 and len(b) > 0
+        # the two sides are spatially separated by the hyperplane
+        assert (a.items().coords[:, plane.dim] <= plane.value).all()
+        assert (b.items().coords[:, plane.dim] > plane.value).all()
+
+    def test_split_preserves_aggregates(self, cls, schema):
+        batch = random_batch(schema, 400, seed=3)
+        store = cls.from_batch(schema, batch)
+        a, b = store.split(store.split_query())
+        box = full_query(schema).box
+        agg_a, _ = a.query(box)
+        agg_b, _ = b.query(box)
+        assert agg_a.count + agg_b.count == 400
+        assert agg_a.total + agg_b.total == pytest.approx(
+            float(batch.measures.sum())
+        )
+
+    def test_serialize_roundtrip(self, cls, schema):
+        batch = random_batch(schema, 300, seed=4)
+        store = cls.from_batch(schema, batch)
+        blob = store.serialize()
+        assert isinstance(blob, bytes)
+        restored = cls.deserialize(schema, blob, store.config)
+        assert len(restored) == 300
+        box = full_query(schema).box
+        agg, _ = restored.query(box)
+        assert agg.count == 300
+        assert agg.total == pytest.approx(float(batch.measures.sum()))
+
+    def test_split_tiny_shard_rejected(self, cls, schema):
+        store = cls.from_batch(
+            schema, RecordBatch(np.zeros((1, 3), dtype=np.int64), np.ones(1))
+        )
+        with pytest.raises(ValueError):
+            store.split_query()
+
+
+def test_split_query_single_point_cloud_rejected(schema):
+    """All-identical items cannot be separated by any hyperplane."""
+    coords = np.tile(schema.leaf_limits // 3, (50, 1))
+    store = ArrayStore.from_batch(schema, RecordBatch(coords, np.ones(50)))
+    with pytest.raises(ValueError):
+        store.split_query()
+
+
+def test_split_query_skewed_distribution(schema):
+    """Median split works when one value dominates a dimension."""
+    rng = np.random.default_rng(5)
+    coords = rng.integers(0, schema.leaf_limits + 1, size=(200, 3), dtype=np.int64)
+    coords[:150, 0] = 7  # heavy repetition in dim 0
+    store = ArrayStore.from_batch(schema, RecordBatch(coords, np.ones(200)))
+    plane = store.split_query()
+    mask = plane.side_mask(coords)
+    assert 0 < int(mask.sum()) < 200
+
+
+class TestHyperplane:
+    def test_roundtrip(self):
+        h = Hyperplane(2, 17)
+        assert Hyperplane.from_tuple(h.to_tuple()) == h
+
+    def test_side_mask(self):
+        h = Hyperplane(0, 5)
+        coords = np.array([[5, 0], [6, 0]])
+        assert h.side_mask(coords).tolist() == [True, False]

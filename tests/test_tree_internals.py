@@ -1,0 +1,214 @@
+"""White-box tests for tree internals: splits, engine, stats accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HilbertPDCTree,
+    HilbertRTree,
+    PDCTree,
+    RTree,
+    TreeConfig,
+)
+from repro.olap.query import full_query
+from repro.olap.records import RecordBatch
+
+from .conftest import make_schema, random_batch
+
+
+class TestSplitMechanics:
+    def test_leaf_split_creates_two_leaves(self):
+        schema = make_schema([[16]])
+        cfg = TreeConfig(leaf_capacity=4, fanout=4)
+        tree = HilbertPDCTree(schema, cfg)
+        for i in range(5):
+            tree.insert(np.array([i]), float(i))
+        assert not tree.root.is_leaf
+        assert len(tree.root.children) == 2
+        sizes = [c.size for c in tree.root.children]
+        assert sum(sizes) == 5
+        assert min(sizes) >= 1
+
+    def test_root_split_grows_depth(self):
+        schema = make_schema([[16, 16]])
+        cfg = TreeConfig(leaf_capacity=2, fanout=2)
+        tree = HilbertPDCTree(schema, cfg)
+        batch = random_batch(schema, 64, seed=1)
+        for coords, m in batch.iter_rows():
+            tree.insert(coords, m)
+        assert tree.depth() >= 4
+        tree.validate()
+
+    def test_split_counter_in_stats(self):
+        schema = make_schema([[16]])
+        cfg = TreeConfig(leaf_capacity=4, fanout=4)
+        tree = HilbertPDCTree(schema, cfg)
+        splits = 0
+        for i in range(16):
+            st = tree.insert(np.array([i]), 1.0)
+            splits += st.splits
+        assert splits >= 2
+
+    @pytest.mark.parametrize("cls", [PDCTree, RTree])
+    def test_geometric_split_separates_clusters(self, cls):
+        """Two well-separated clusters end up in different subtrees."""
+        schema = make_schema([[64], [64]])
+        cfg = TreeConfig(leaf_capacity=8, fanout=4)
+        tree = cls(schema, cfg)
+        rng = np.random.default_rng(0)
+        lows = rng.integers(0, 5, size=(20, 2))
+        highs = rng.integers(58, 63, size=(20, 2))
+        for p in np.concatenate([lows, highs]):
+            tree.insert(p.astype(np.int64), 1.0)
+        tree.validate()
+        # the root children's MBRs should separate the two clusters
+        boxes = [tree.policy.mbr(c.key) for c in tree.root.children]
+        spans = [b.hi[0] - b.lo[0] for b in boxes]
+        assert min(spans) < 63, "clusters were not separated at all"
+
+    def test_hilbert_split_respects_min_fill(self):
+        schema = make_schema([[64], [64]])
+        cfg = TreeConfig(leaf_capacity=8, fanout=8)
+        tree = HilbertPDCTree(schema, cfg)
+        batch = random_batch(schema, 200, seed=2)
+        for coords, m in batch.iter_rows():
+            tree.insert(coords, m)
+        for leaf in tree._iter_leaves(tree.root):
+            assert leaf.size >= 1
+        tree.validate()
+
+
+class TestInsertEngineEdgeCases:
+    def test_single_item_tree(self, schema):
+        tree = HilbertPDCTree(schema)
+        tree.insert(np.zeros(3, dtype=np.int64), 7.0)
+        assert len(tree) == 1
+        agg, _ = tree.query(full_query(schema).box)
+        assert agg.count == 1 and agg.total == 7.0
+        tree.validate()
+
+    def test_identical_hilbert_keys(self):
+        """Many duplicates of one point exercise equal-LHV routing."""
+        schema = make_schema([[8], [8]])
+        cfg = TreeConfig(leaf_capacity=4, fanout=3)
+        tree = HilbertPDCTree(schema, cfg)
+        pt = np.array([3, 3], dtype=np.int64)
+        for i in range(50):
+            tree.insert(pt, float(i))
+        tree.validate()
+        agg, _ = tree.query(full_query(schema).box)
+        assert agg.count == 50
+
+    def test_monotone_insertion_order(self):
+        """Sorted input (worst case for naive trees) stays balanced-ish."""
+        schema = make_schema([[64, 64]])
+        cfg = TreeConfig(leaf_capacity=8, fanout=4)
+        tree = HilbertPDCTree(schema, cfg)
+        for v in range(300):
+            tree.insert(np.array([v * 13 % 4096]), 1.0)
+        tree.validate()
+        # logarithmic-ish depth
+        assert tree.depth() <= 8
+
+    def test_insert_returns_work_stats(self, schema, batch):
+        tree = HilbertPDCTree(schema)
+        st = tree.insert(batch.coords[0], 1.0)
+        assert st.nodes_visited >= 1
+        assert st.work > 0
+
+    def test_corner_values(self, schema):
+        """Extremes of every dimension's id space round-trip."""
+        tree = HilbertPDCTree(schema)
+        zero = np.zeros(3, dtype=np.int64)
+        top = schema.leaf_limits.copy()
+        tree.insert(zero, 1.0)
+        tree.insert(top, 2.0)
+        from repro.olap.keys import Box
+
+        agg, _ = tree.query(Box(zero, zero))
+        assert agg.count == 1
+        agg, _ = tree.query(Box(top, top))
+        assert agg.count == 1
+
+
+class TestQueryStatsAccounting:
+    def test_full_query_uses_root_cache(self, schema, batch):
+        tree = HilbertPDCTree.from_batch(schema, batch)
+        _, st = tree.query(full_query(schema).box)
+        assert st.nodes_visited == 1
+        assert st.agg_hits == 1
+        assert st.items_scanned == 0
+
+    def test_point_query_descends(self, schema, batch):
+        from repro.olap.keys import Box
+
+        tree = HilbertPDCTree.from_batch(schema, batch)
+        pt = batch.coords[0]
+        _, st = tree.query(Box(pt, pt))
+        assert st.nodes_visited >= tree.depth()
+        assert st.leaves_visited >= 1
+
+    def test_disjoint_query_touches_only_root(self, schema, batch):
+        from repro.olap.keys import Box
+
+        tree = HilbertPDCTree.from_batch(schema, batch)
+        mbr = tree.mbr()
+        if (mbr.hi + 1 > schema.leaf_limits).any():
+            pytest.skip("no free corner")
+        _, st = tree.query(Box(mbr.hi + 1, schema.leaf_limits))
+        assert st.nodes_visited == 1
+        assert st.items_scanned == 0
+
+
+class TestBulkLoadPacking:
+    def test_leaves_filled_to_target(self, schema):
+        batch = random_batch(schema, 2000, seed=9)
+        cfg = TreeConfig(leaf_capacity=64, fanout=16)
+        tree = HilbertPDCTree.from_batch(schema, batch, cfg)
+        sizes = [l.size for l in tree._iter_leaves(tree.root)]
+        # 3/4 fill target
+        assert np.mean(sizes) >= 32
+        assert max(sizes) <= 64
+
+    def test_empty_batch(self, schema):
+        tree = HilbertPDCTree.from_batch(schema, RecordBatch.empty(3))
+        assert len(tree) == 0
+        agg, _ = tree.query(full_query(schema).box)
+        assert agg.is_empty
+
+    def test_one_item_batch(self, schema):
+        b = RecordBatch(np.zeros((1, 3), dtype=np.int64), np.ones(1))
+        tree = HilbertPDCTree.from_batch(schema, b)
+        assert len(tree) == 1
+        tree.validate()
+
+    def test_bulk_load_faster_than_point_inserts(self, schema):
+        import time
+
+        batch = random_batch(schema, 3000, seed=10)
+        t0 = time.perf_counter()
+        HilbertPDCTree.from_batch(schema, batch)
+        bulk = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        tree = HilbertPDCTree(schema)
+        for coords, m in batch.iter_rows():
+            tree.insert(coords, m)
+        point = time.perf_counter() - t0
+        assert bulk < point, f"bulk {bulk:.2f}s not faster than point {point:.2f}s"
+
+
+class TestTreeIntrospection:
+    def test_depth_and_node_count_consistency(self, schema, batch):
+        tree = HilbertPDCTree.from_batch(schema, batch)
+        assert tree.depth() >= 1
+        assert tree.node_count() >= tree.depth()
+
+    def test_empty_tree_mbr(self, schema):
+        tree = HilbertPDCTree(schema)
+        assert tree.mbr().is_empty()
+
+    def test_hilbert_r_uses_raw_mapping(self, schema):
+        hr = HilbertRTree(schema)
+        hpdc = HilbertPDCTree(schema)
+        assert hr.mapper.expand is False
+        assert hpdc.mapper.expand is True

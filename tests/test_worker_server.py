@@ -1,0 +1,329 @@
+"""Unit tests for Worker and Server entities in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cost import CostModel
+from repro.cluster.image import ShardInfo
+from repro.cluster.server import Server
+from repro.cluster.simclock import SimClock
+from repro.cluster.transport import Entity, LatencyModel, Message, Transport
+from repro.cluster.worker import Worker
+from repro.cluster.zookeeper import Zookeeper
+from repro.core import HilbertPDCTree, TreeConfig
+from repro.core.base import Hyperplane
+from repro.olap.keys import Box
+from repro.olap.query import full_query
+
+from .conftest import make_schema, random_batch
+
+
+class Sink(Entity):
+    name = "sink"
+
+    def __init__(self):
+        self.received = []
+
+    def receive(self, msg):
+        self.received.append(msg)
+
+
+@pytest.fixture
+def rig(schema):
+    clock = SimClock()
+    transport = Transport(clock, LatencyModel(jitter=0.0))
+    zk = Zookeeper(clock)
+    return clock, transport, zk
+
+
+def make_worker(rig, schema, wid=0):
+    clock, transport, zk = rig
+    return Worker(
+        wid,
+        clock,
+        transport,
+        zk,
+        schema,
+        tree_config=TreeConfig(leaf_capacity=16, fanout=8),
+    )
+
+
+def install(worker, schema, batch, shard_id=1):
+    store = HilbertPDCTree.from_batch(schema, batch, worker.tree_config)
+    worker.install_shard(shard_id, store)
+    return store
+
+
+class TestWorkerInsert:
+    def test_insert_then_ack(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        install(w, schema, batch)
+        sink = Sink()
+        coords = batch.coords[0]
+        w.receive(Message("insert", (1, coords, 2.0, 99, sink)))
+        clock.run()
+        assert w.total_items() == len(batch) + 1
+        assert sink.received[0].kind == "insert_ack"
+        assert sink.received[0].payload == (99, 0)
+
+    def test_unknown_shard_nacks(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        sink = Sink()
+        w.receive(Message("insert", (42, batch.coords[0], 1.0, 5, sink)))
+        clock.run()
+        assert sink.received[0].kind == "insert_nack"
+
+    def test_frozen_shard_queues(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        install(w, schema, batch)
+        w.frozen.add(1)
+        w.queues[1] = HilbertPDCTree(schema, w.tree_config)
+        sink = Sink()
+        w.receive(Message("insert", (1, batch.coords[0], 1.0, 5, sink)))
+        clock.run()
+        assert len(w.queues[1]) == 1
+        assert len(w.shards[1]) == len(batch)  # shard untouched
+
+
+class TestWorkerQuery:
+    def test_query_full(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        install(w, schema, batch)
+        sink = Sink()
+        box = full_query(schema).box
+        w.receive(Message("query", (7, [1], box.to_tuple(), sink)))
+        clock.run()
+        msg = sink.received[0]
+        assert msg.kind == "query_result"
+        token, agg_t, searched, wid = msg.payload
+        assert token == 7
+        assert agg_t[0] == len(batch)
+        assert searched == 1
+
+    def test_query_includes_queue(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        install(w, schema, batch)
+        w.frozen.add(1)
+        w.queues[1] = HilbertPDCTree(schema, w.tree_config)
+        w.queues[1].insert(batch.coords[0], 5.0)
+        sink = Sink()
+        box = full_query(schema).box
+        w.receive(Message("query", (7, [1], box.to_tuple(), sink)))
+        clock.run()
+        assert sink.received[0].payload[1][0] == len(batch) + 1
+
+    def test_query_through_mapping(self, rig, schema, batch):
+        """Queries addressed to a split parent reach both children."""
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        store = install(w, schema, batch)
+        plane = store.split_query()
+        low, high = store.split(plane)
+        w.shards[10] = low
+        w.shards[11] = high
+        del w.shards[1]
+        w.mapping[1] = (plane, 10, 11)
+        sink = Sink()
+        box = full_query(schema).box
+        w.receive(Message("query", (3, [1], box.to_tuple(), sink)))
+        clock.run()
+        token, agg_t, searched, _ = sink.received[0].payload
+        assert agg_t[0] == len(batch)
+        assert searched == 2
+
+
+class TestWorkerSplit:
+    def test_split_shard_lifecycle(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        install(w, schema, batch)
+        sink = Sink()
+        w.receive(Message("split_shard", (1, 100, 101, sink)))
+        clock.run()
+        assert sink.received[0].kind == "split_done"
+        assert 100 in w.shards and 101 in w.shards and 1 not in w.shards
+        assert 1 in w.mapping
+        assert len(w.shards[100]) + len(w.shards[101]) == len(batch)
+        # zookeeper published the new shards and dropped the old one
+        assert zk.get("/shards/100") is not None
+        assert zk.get("/shards/101") is not None
+        assert not zk.exists("/shards/1")
+
+    def test_split_missing_shard_fails(self, rig, schema):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        sink = Sink()
+        w.receive(Message("split_shard", (9, 100, 101, sink)))
+        clock.run()
+        assert sink.received[0].kind == "split_failed"
+
+    def test_insert_resolution_after_split(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        install(w, schema, batch)
+        sink = Sink()
+        w.receive(Message("split_shard", (1, 100, 101, sink)))
+        clock.run()
+        plane, low, high = w.mapping[1]
+        coords = batch.coords[0]
+        expected = low if coords[plane.dim] <= plane.value else high
+        before = len(w.shards[expected])
+        w.receive(Message("insert", (1, coords, 1.0, 5, sink)))
+        clock.run()
+        assert len(w.shards[expected]) == before + 1
+
+
+class TestWorkerMigration:
+    def test_migration_moves_shard(self, rig, schema, batch):
+        clock, transport, zk = rig
+        src = make_worker(rig, schema, wid=0)
+        dst = make_worker(rig, schema, wid=1)
+        install(src, schema, batch)
+        sink = Sink()
+        src.receive(Message("migrate_shard", (1, dst, sink)))
+        clock.run()
+        assert sink.received[-1].kind == "migrate_done"
+        assert 1 not in src.shards
+        assert len(dst.shards[1]) == len(batch)
+        # zookeeper reflects the new owner
+        assert zk.get("/shards/1")[2] == 1
+
+    def test_queued_inserts_follow_migration(self, rig, schema, batch):
+        clock, transport, zk = rig
+        src = make_worker(rig, schema, wid=0)
+        dst = make_worker(rig, schema, wid=1)
+        install(src, schema, batch)
+        sink = Sink()
+        src.receive(Message("migrate_shard", (1, dst, sink)))
+        # while frozen, an insert arrives at the source
+        src.receive(Message("insert", (1, batch.coords[0], 9.0, 4, sink)))
+        clock.run()
+        assert len(dst.shards[1]) == len(batch) + 1
+
+    def test_migrate_missing_shard_fails(self, rig, schema):
+        clock, transport, zk = rig
+        src = make_worker(rig, schema, wid=0)
+        dst = make_worker(rig, schema, wid=1)
+        sink = Sink()
+        src.receive(Message("migrate_shard", (7, dst, sink)))
+        clock.run()
+        assert sink.received[0].kind == "migrate_failed"
+
+
+class TestServer:
+    def make_server(self, rig, schema, workers):
+        clock, transport, zk = rig
+        return Server(
+            0, clock, transport, zk, schema, workers, sync_period=1.0
+        )
+
+    def test_insert_roundtrip(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        install(w, schema, batch)
+        server = self.make_server(rig, schema, {0: w})
+        server.load_image()
+        sink = Sink()
+        server.receive(
+            Message("client_insert", (batch.coords[0], 1.0, sink))
+        )
+        clock.run_until(1.0 - 1e-9)  # avoid periodic sync tail
+        assert sink.received[0].kind == "insert_done"
+        assert w.total_items() == len(batch) + 1
+
+    def test_query_roundtrip(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        install(w, schema, batch)
+        server = self.make_server(rig, schema, {0: w})
+        server.load_image()
+        sink = Sink()
+        server.receive(
+            Message("client_query", (full_query(schema), sink))
+        )
+        clock.run_until(0.9)
+        msg = sink.received[0]
+        assert msg.kind == "query_done"
+        _tok, _t0, agg, searched, _cov = msg.payload
+        assert agg.count == len(batch)
+        assert searched >= 1
+
+    def test_dirty_boxes_synced(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        install(w, schema, batch)
+        server = self.make_server(rig, schema, {0: w})
+        server.load_image()
+        # force an expansion: a point outside the current shard box
+        outside = schema.leaf_limits.copy()
+        sink = Sink()
+        server.receive(Message("client_insert", (outside, 1.0, sink)))
+        clock.run_until(0.5)
+        assert server.image.dirty
+        clock.run_until(1.5)  # past the sync tick
+        assert not server.image.dirty
+        assert zk.get("/boxes/1") is not None
+
+    def test_box_event_expands_other_server(self, rig, schema, batch):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        install(w, schema, batch)
+        s0 = self.make_server(rig, schema, {0: w})
+        clock2_servers_share = Server(
+            1, clock, transport, zk, schema, {0: w}, sync_period=1.0
+        )
+        s0.load_image()
+        clock2_servers_share.load_image()
+        from repro.cluster.wire import key_to_wire
+
+        big = Box(np.zeros(schema.num_dims, dtype=np.int64), schema.leaf_limits)
+        zk.set("/boxes/1", key_to_wire(big))
+        clock.run_until(0.5)
+        info = clock2_servers_share.image.get(1)
+        assert info.box.contains_point(schema.leaf_limits)
+
+    def test_shard_event_adds_and_removes(self, rig, schema):
+        clock, transport, zk = rig
+        w = make_worker(rig, schema)
+        server = self.make_server(rig, schema, {0: w})
+        info = ShardInfo(
+            5, Box(np.zeros(3, dtype=np.int64), np.ones(3, dtype=np.int64)), 0
+        )
+        zk.set("/shards/5", info.to_wire())
+        clock.run_until(0.5)
+        assert 5 in server.image
+        zk.delete("/shards/5")
+        clock.run_until(0.9)
+        assert 5 not in server.image
+
+
+class TestCostModel:
+    def test_monotone_in_work(self):
+        from repro.core.config import OpStats
+
+        cost = CostModel()
+        small = OpStats(nodes_visited=1)
+        big = OpStats(nodes_visited=100, items_scanned=1000)
+        assert cost.insert_time(big) > cost.insert_time(small)
+        assert cost.query_time(big) > cost.query_time(small)
+
+    def test_bulk_cheaper_per_item(self):
+        cost = CostModel()
+        per_item_bulk = cost.bulk_time(1000) / 1000
+        from repro.core.config import OpStats
+
+        per_item_point = cost.insert_time(OpStats(nodes_visited=4))
+        assert per_item_bulk < per_item_point / 5
+
+    def test_all_times_positive(self):
+        cost = CostModel()
+        assert cost.split_time(100) > 0
+        assert cost.serialize_time(100) > 0
+        assert cost.deserialize_time(100) > 0
+        assert cost.route_time(10) > 0
+        assert cost.merge_time(0) > 0

@@ -1,0 +1,226 @@
+"""Tests for the TPC-DS generator, query generator, and streams."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    PAPER_BINS,
+    QueryGenerator,
+    StreamGenerator,
+    TPCDSGenerator,
+    synthetic_schema,
+    tpcds_schema,
+)
+
+
+class TestTpcdsSchema:
+    def test_eight_dimensions(self):
+        s = tpcds_schema()
+        assert s.num_dims == 8
+
+    def test_dimension_names_match_fig1(self):
+        s = tpcds_schema()
+        names = {d.name for d in s.dimensions}
+        assert names == {
+            "store",
+            "customer",
+            "customer_birth",
+            "item",
+            "date",
+            "time",
+            "household",
+            "promotion",
+        }
+
+    def test_hierarchy_depths(self):
+        s = tpcds_schema()
+        assert s.dimension("store").num_levels == 4
+        assert s.dimension("date").num_levels == 3
+        assert s.dimension("promotion").num_levels == 1
+
+    def test_synthetic_schema(self):
+        s = synthetic_schema(16, levels=2, fanout=8)
+        assert s.num_dims == 16
+        assert all(d.num_levels == 2 for d in s.dimensions)
+
+
+class TestTPCDSGenerator:
+    def test_batch_shape_and_validity(self):
+        s = tpcds_schema()
+        gen = TPCDSGenerator(s, seed=1)
+        b = gen.batch(500)
+        assert len(b) == 500
+        b.validate(s)  # coordinates within every dimension's id space
+
+    def test_deterministic_with_seed(self):
+        s = tpcds_schema()
+        a = TPCDSGenerator(s, seed=7).batch(100)
+        b = TPCDSGenerator(s, seed=7).batch(100)
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_different_seeds_differ(self):
+        s = tpcds_schema()
+        a = TPCDSGenerator(s, seed=1).batch(100)
+        b = TPCDSGenerator(s, seed=2).batch(100)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_skew_concentrates_values(self):
+        """Zipf skew: the most popular level-1 value dominates."""
+        s = tpcds_schema()
+        gen = TPCDSGenerator(s, seed=3, skew=1.5)
+        b = gen.batch(3000)
+        d = s.index_of("item")
+        h = s.dimension("item").hierarchy
+        top = np.array([h.prefix_of(int(v), 1) for v in b.coords[:, d]])
+        counts = np.bincount(top)
+        assert counts.max() / 3000 > 0.3
+
+    def test_time_correlation_advances(self):
+        s = tpcds_schema()
+        gen = TPCDSGenerator(s, seed=4, time_correlated=True)
+        d = s.index_of("date")
+        h = s.dimension("date").hierarchy
+        first = gen.batch(1000)
+        for _ in range(60):
+            gen.batch(1000)
+        late = gen.batch(1000)
+        top_first = np.mean([h.prefix_of(int(v), 1) for v in first.coords[:, d]])
+        top_late = np.mean([h.prefix_of(int(v), 1) for v in late.coords[:, d]])
+        assert top_late > top_first
+
+    def test_stream_chunks(self):
+        s = tpcds_schema()
+        gen = TPCDSGenerator(s, seed=5)
+        chunks = list(gen.stream(2500, chunk=1000))
+        assert [len(c) for c in chunks] == [1000, 1000, 500]
+
+    def test_measures_positive(self):
+        s = tpcds_schema()
+        b = TPCDSGenerator(s, seed=6).batch(200)
+        assert (b.measures > 0).all()
+
+
+class TestQueryGenerator:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        s = tpcds_schema()
+        batch = TPCDSGenerator(s, seed=1).batch(5000)
+        return s, batch
+
+    def test_random_query_measures_coverage(self, setup):
+        s, batch = setup
+        qg = QueryGenerator(s, batch, seed=2)
+        q = qg.random_query()
+        assert 0.0 <= q.coverage <= 1.0
+
+    def test_coverage_is_true_fraction(self, setup):
+        s, batch = setup
+        qg = QueryGenerator(s, batch, seed=3)
+        q = qg.random_query()
+        inside = q.box.contains_points(batch.coords).sum()
+        assert q.coverage == pytest.approx(inside / len(batch))
+
+    def test_bins_fill(self, setup):
+        s, batch = setup
+        qg = QueryGenerator(s, batch, seed=4)
+        bins = qg.generate_bins(per_bin=5)
+        for name, (lo, hi) in zip(bins.names, bins.edges):
+            assert len(bins.queries[name]) >= 5
+            for q in bins.queries[name]:
+                assert lo <= q.coverage <= hi
+
+    def test_paper_bins_partition_unit_interval(self):
+        assert PAPER_BINS[0][0] == 0.0
+        assert PAPER_BINS[-1][1] == 1.0
+
+    def test_sampling_from_bin(self, setup):
+        s, batch = setup
+        qg = QueryGenerator(s, batch, seed=5)
+        bins = qg.generate_bins(per_bin=3)
+        rng = np.random.default_rng(0)
+        q = bins.sample("low", rng)
+        assert q.coverage <= 1.0 / 3.0
+
+    def test_sample_empty_bin_raises(self, setup):
+        s, batch = setup
+        qg = QueryGenerator(s, batch, seed=6)
+        bins = qg.generate_bins(per_bin=1)
+        bins.queries["low"].clear()
+        with pytest.raises(ValueError):
+            bins.sample("low", np.random.default_rng(0))
+
+    def test_queries_for_coverage_band(self, setup):
+        s, batch = setup
+        qg = QueryGenerator(s, batch, seed=7)
+        qs = qg.queries_for_coverage((0.4, 0.6), 4)
+        assert len(qs) == 4
+        assert all(0.4 <= q.coverage <= 0.6 for q in qs)
+
+    def test_empty_reference_rejected(self, setup):
+        s, _ = setup
+        from repro.olap.records import RecordBatch
+
+        with pytest.raises(ValueError):
+            QueryGenerator(s, RecordBatch.empty(s.num_dims))
+
+
+class TestStreamGenerator:
+    @pytest.fixture(scope="class")
+    def parts(self):
+        s = tpcds_schema()
+        gen = TPCDSGenerator(s, seed=1)
+        batch = gen.batch(4000)
+        qg = QueryGenerator(s, batch, seed=2)
+        bins = qg.generate_bins(per_bin=4)
+        return s, gen, bins
+
+    def test_mix_fraction_respected(self, parts):
+        _, gen, bins = parts
+        sg = StreamGenerator(gen, bins, insert_fraction=0.25, seed=3)
+        ops = list(sg.operations(2000))
+        ins = sum(1 for o in ops if o.is_insert)
+        assert 0.2 <= ins / 2000 <= 0.3
+
+    def test_pure_insert_stream(self, parts):
+        _, gen, bins = parts
+        sg = StreamGenerator(gen, bins, insert_fraction=1.0, seed=4)
+        ops = list(sg.operations(100))
+        assert all(o.is_insert for o in ops)
+        assert all(o.coords is not None for o in ops)
+
+    def test_pure_query_stream(self, parts):
+        _, gen, bins = parts
+        sg = StreamGenerator(gen, bins, insert_fraction=0.0, seed=5)
+        ops = list(sg.operations(100))
+        assert all(not o.is_insert for o in ops)
+        assert all(o.query is not None for o in ops)
+
+    def test_coverage_mix_restricts_bins(self, parts):
+        _, gen, bins = parts
+        sg = StreamGenerator(
+            gen, bins, insert_fraction=0.0, coverage_mix=["high"], seed=6
+        )
+        ops = list(sg.operations(50))
+        assert all(o.query.coverage >= 2.0 / 3.0 for o in ops)
+
+    def test_bad_fraction_rejected(self, parts):
+        _, gen, bins = parts
+        with pytest.raises(ValueError):
+            StreamGenerator(gen, bins, insert_fraction=1.5)
+
+    def test_empty_bin_mix_rejected(self, parts):
+        _, gen, bins = parts
+        bins.queries["medium"].clear()
+        try:
+            with pytest.raises(ValueError):
+                StreamGenerator(
+                    gen, bins, insert_fraction=0.0, coverage_mix=["medium"]
+                )
+        finally:
+            pass
+
+    def test_batch_plan(self, parts):
+        _, gen, bins = parts
+        sg = StreamGenerator(gen, bins, insert_fraction=0.5, seed=7)
+        ins, qs = sg.batch_plan(100)
+        assert ins == 50 and qs == 50

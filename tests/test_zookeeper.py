@@ -1,0 +1,137 @@
+"""Tests for the Zookeeper stand-in and the message transport."""
+
+import pytest
+
+from repro.cluster.simclock import SimClock
+from repro.cluster.transport import Entity, LatencyModel, Message, Transport
+from repro.cluster.zookeeper import Zookeeper
+
+
+class Recorder(Entity):
+    def __init__(self, clock):
+        self.clock = clock
+        self.received = []
+
+    def receive(self, msg):
+        self.received.append((self.clock.now, msg.kind, msg.payload))
+
+
+class TestZookeeper:
+    def test_set_get(self):
+        zk = Zookeeper(SimClock())
+        zk.set("/a/b", 42)
+        assert zk.get("/a/b") == 42
+        assert zk.get("/a/missing") is None
+
+    def test_versions_increment(self):
+        zk = Zookeeper(SimClock())
+        assert zk.version("/x") == 0
+        zk.set("/x", 1)
+        zk.set("/x", 2)
+        assert zk.version("/x") == 2
+
+    def test_ls(self):
+        zk = Zookeeper(SimClock())
+        zk.set("/shards/2", "b")
+        zk.set("/shards/1", "a")
+        assert zk.ls("/shards") == ["1", "2"]
+        assert zk.ls("/nothing") == []
+
+    def test_delete(self):
+        zk = Zookeeper(SimClock())
+        zk.set("/a/b", 1)
+        assert zk.delete("/a/b")
+        assert not zk.exists("/a/b")
+        assert not zk.delete("/a/b")
+
+    def test_relative_path_rejected(self):
+        zk = Zookeeper(SimClock())
+        with pytest.raises(ValueError):
+            zk.set("a/b", 1)
+
+    def test_watch_fires_after_notify_latency(self):
+        clock = SimClock()
+        zk = Zookeeper(clock, notify_latency=0.1)
+        events = []
+        zk.watch("/shards/", lambda p, d: events.append((clock.now, p, d)))
+        clock.at(1.0, lambda: zk.set("/shards/5", "info"))
+        clock.run()
+        assert events == [(1.1, "/shards/5", "info")]
+
+    def test_watch_prefix_filtering(self):
+        clock = SimClock()
+        zk = Zookeeper(clock, notify_latency=0.0)
+        events = []
+        zk.watch("/boxes/", lambda p, d: events.append(p))
+        zk.set("/shards/1", "x")
+        zk.set("/boxes/1", "y")
+        clock.run()
+        assert events == ["/boxes/1"]
+
+    def test_watch_fires_on_delete_with_none(self):
+        clock = SimClock()
+        zk = Zookeeper(clock, notify_latency=0.0)
+        events = []
+        zk.set("/shards/1", "x")
+        zk.watch("/shards/", lambda p, d: events.append((p, d)))
+        zk.delete("/shards/1")
+        clock.run()
+        assert events == [("/shards/1", None)]
+
+    def test_async_set_applies_after_latency(self):
+        clock = SimClock()
+        zk = Zookeeper(clock, request_latency=0.05)
+        versions = []
+        zk.aset("/a", 7, done=versions.append)
+        assert zk.get("/a") is None  # not yet applied
+        clock.run()
+        assert zk.get("/a") == 7
+        assert versions == [1]
+
+    def test_async_get(self):
+        clock = SimClock()
+        zk = Zookeeper(clock, request_latency=0.05)
+        zk.set("/a", 3)
+        out = []
+        zk.aget("/a", out.append)
+        clock.run()
+        assert out == [3]
+
+
+class TestTransport:
+    def test_delivery_with_latency(self):
+        clock = SimClock()
+        tr = Transport(clock, LatencyModel(base=0.01, jitter=0.0))
+        dst = Recorder(clock)
+        tr.send(dst, Message("ping", 1, size=0))
+        clock.run()
+        assert dst.received == [(0.01, "ping", 1)]
+
+    def test_size_dependent_latency(self):
+        clock = SimClock()
+        tr = Transport(
+            clock, LatencyModel(base=0.0, bandwidth=1000.0, jitter=0.0)
+        )
+        dst = Recorder(clock)
+        tr.send(dst, Message("blob", None, size=500))
+        clock.run()
+        assert dst.received[0][0] == pytest.approx(0.5)
+
+    def test_counters(self):
+        clock = SimClock()
+        tr = Transport(clock, LatencyModel(jitter=0.0))
+        dst = Recorder(clock)
+        tr.send(dst, Message("a", size=100))
+        tr.send(dst, Message("b", size=200))
+        assert tr.messages_sent == 2
+        assert tr.bytes_sent == 300
+
+    def test_jitter_bounded(self):
+        clock = SimClock()
+        lat = LatencyModel(base=0.001, jitter=0.002)
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            d = lat.delay(0, rng)
+            assert 0.001 <= d <= 0.003 + 1e-12
