@@ -3,6 +3,13 @@
 from .client import ClientSession
 from .cluster import ClusterConfig, VOLAPCluster
 from .cost import CostModel
+from .faults import (
+    CheckpointStore,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+)
 from .image import LocalImage, ShardInfo
 from .manager import BalancerPolicy, Manager
 from .server import Server
@@ -15,11 +22,16 @@ from .zookeeper import Zookeeper
 
 __all__ = [
     "BalancerPolicy",
+    "CheckpointStore",
     "ClientSession",
     "ClusterConfig",
     "ClusterStats",
     "CostModel",
     "Entity",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
     "LatencyModel",
     "LocalImage",
     "Manager",

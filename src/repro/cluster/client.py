@@ -5,17 +5,38 @@ session is attached to one of the server nodes") and keeps a fixed
 number of operations in flight; a completion immediately triggers the
 next operation.  Per-operation latencies and completions land in
 :class:`~repro.cluster.stats.ClusterStats`.
+
+Requests are resilient: every operation carries a globally unique
+idempotency token (``op_id``), is retransmitted with exponential
+backoff + jitter when no reply arrives within the
+:class:`~repro.cluster.faults.RetryPolicy` timeout, and is recorded as
+a failed :class:`OpRecord` (``ok=False``) when attempts are exhausted
+or the server reports ``insert_failed`` -- the concurrency slot is
+always released.  Workers deduplicate ``op_id``s, so retransmitted or
+fault-duplicated inserts apply exactly once.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+import numpy as np
+
 from ..workloads.streams import Operation
+from .faults import RetryPolicy
 from .stats import ClusterStats, OpRecord
 from .transport import Entity, Message, Transport
 
 __all__ = ["ClientSession"]
+
+
+@dataclass
+class _PendingOp:
+    op: Operation
+    op_id: int
+    submit_time: float
+    attempts: int = 1
 
 
 class ClientSession(Entity):
@@ -28,18 +49,29 @@ class ClientSession(Entity):
         server: Entity,
         stats: ClusterStats,
         concurrency: int = 8,
+        retry: Optional[RetryPolicy] = None,
+        seed: Optional[int] = None,
     ):
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
+        self.client_id = client_id
         self.name = f"client-{client_id}"
         self.transport = transport
         self.server = server
         self.stats = stats
         self.concurrency = concurrency
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = np.random.default_rng(
+            client_id if seed is None else seed
+        )
         self._ops: list[Operation] = []
         self._next = 0
         self._outstanding = 0
+        self._pending: dict[int, _PendingOp] = {}
+        self._op_seq = 0
         self.completed = 0
+        self.retries = 0
+        self.timeouts = 0
         self.on_done: Optional[Callable[[], None]] = None
         #: called on each completed op (used by tests / oracles)
         self.on_complete: Optional[Callable[[OpRecord], None]] = None
@@ -55,35 +87,126 @@ class ClientSession(Entity):
             self._issue(self._ops[self._next])
             self._next += 1
 
+    # -- issuing ----------------------------------------------------------
+
     def _issue(self, op: Operation) -> None:
         self._outstanding += 1
+        self._op_seq += 1
+        op_id = (self.client_id << 24) | self._op_seq
+        pending = _PendingOp(op, op_id, self.transport.clock.now)
+        self._pending[op_id] = pending
+        self._send(pending)
+        self._arm_timer(op_id, self.retry.timeout)
+
+    def _send(self, pending: _PendingOp) -> None:
+        op = pending.op
         if op.is_insert:
             self.transport.send(
                 self.server,
-                Message("client_insert", (op.coords, op.measure, self)),
+                Message(
+                    "client_insert",
+                    (pending.op_id, op.coords, op.measure, self),
+                    sender=self,
+                ),
             )
         else:
             self.transport.send(
-                self.server, Message("client_query", (op.query, self))
+                self.server,
+                Message(
+                    "client_query", (pending.op_id, op.query, self), sender=self
+                ),
             )
+
+    # -- timeouts / retries ------------------------------------------------
+
+    def _arm_timer(self, op_id: int, delay: float) -> None:
+        pending = self._pending.get(op_id)
+        if pending is None:
+            return
+        attempt = pending.attempts
+
+        def fire() -> None:
+            cur = self._pending.get(op_id)
+            if cur is None or cur.attempts != attempt:
+                return  # completed or already retried
+            self.timeouts += 1
+            if cur.attempts >= self.retry.max_attempts:
+                self._give_up(op_id)
+                return
+            cur.attempts += 1
+            self.retries += 1
+            backoff = self.retry.backoff(cur.attempts - 1, self._rng)
+            self.transport.clock.after(
+                backoff,
+                lambda: self._send(cur) if op_id in self._pending else None,
+            )
+            self._arm_timer(op_id, backoff + self.retry.timeout)
+
+        self.transport.clock.after(delay, fire)
+
+    def _give_up(self, op_id: int) -> None:
+        pending = self._pending.pop(op_id, None)
+        if pending is None:
+            return
+        op = pending.op
+        rec = OpRecord(
+            "insert" if op.is_insert else "query",
+            pending.submit_time,
+            self.transport.clock.now,
+            coverage=(
+                op.query.coverage if not op.is_insert else float("nan")
+            ),
+            ok=False,
+            achieved=0.0,
+            attempts=pending.attempts,
+        )
+        self._complete(rec)
+
+    # -- completions -------------------------------------------------------
 
     def receive(self, msg: Message) -> None:
         now = self.transport.clock.now
         if msg.kind == "insert_done":
-            _token, submit_time = msg.payload
-            rec = OpRecord("insert", submit_time, now)
+            op_id = msg.payload[0]
+            pending = self._pending.pop(op_id, None)
+            if pending is None:
+                return  # duplicated or post-timeout reply
+            rec = OpRecord(
+                "insert", pending.submit_time, now, attempts=pending.attempts
+            )
+        elif msg.kind == "insert_failed":
+            op_id = msg.payload[0]
+            pending = self._pending.pop(op_id, None)
+            if pending is None:
+                return
+            rec = OpRecord(
+                "insert",
+                pending.submit_time,
+                now,
+                ok=False,
+                achieved=0.0,
+                attempts=pending.attempts,
+            )
         elif msg.kind == "query_done":
-            _token, submit_time, agg, searched, coverage = msg.payload
+            op_id, _t, agg, searched, coverage, achieved = msg.payload
+            pending = self._pending.pop(op_id, None)
+            if pending is None:
+                return
             rec = OpRecord(
                 "query",
-                submit_time,
+                pending.submit_time,
                 now,
                 coverage=coverage,
                 shards_searched=searched,
                 result_count=agg.count,
+                achieved=achieved,
+                attempts=pending.attempts,
             )
         else:
             raise ValueError(f"client: unknown message {msg.kind!r}")
+        self._complete(rec)
+
+    def _complete(self, rec: OpRecord) -> None:
         self.stats.record_op(rec)
         if self.on_complete is not None:
             self.on_complete(rec)

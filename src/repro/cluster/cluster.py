@@ -21,6 +21,7 @@ from ..olap.records import RecordBatch
 from ..olap.schema import Schema
 from .client import ClientSession
 from .cost import CostModel
+from .faults import CheckpointStore, FaultInjector, FaultPlan, RetryPolicy
 from .manager import BalancerPolicy, Manager
 from .server import Server
 from .simclock import SimClock
@@ -57,6 +58,14 @@ class ClusterConfig:
     store_cls: type = HilbertPDCTree
     client_concurrency: int = 16
     seed: int = 0
+    #: request timeouts / retries / backoff (clients and servers)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: worker liveness beacons; 0 disables heartbeats and failover
+    heartbeat_period: float = 0.5
+    #: missed beats before the ephemeral heartbeat znode expires
+    heartbeat_miss_k: int = 4
+    #: periodic shard checkpointing for failover restores; 0 disables
+    checkpoint_period: float = 5.0
 
 
 class VOLAPCluster:
@@ -71,6 +80,7 @@ class VOLAPCluster:
         )
         self.zk = Zookeeper(self.clock)
         self.stats = ClusterStats()
+        self.checkpoints = CheckpointStore()
         self.workers: dict[int, Worker] = {}
         for wid in range(self.config.num_workers):
             self._make_worker(wid)
@@ -87,6 +97,7 @@ class VOLAPCluster:
                 cost=self.config.cost,
                 image_fanout=self.config.image_fanout,
                 image_key_kind=self.config.image_key_kind,
+                retry=self.config.retry,
             )
             for sid in range(self.config.num_servers)
         ]
@@ -97,6 +108,13 @@ class VOLAPCluster:
             self.workers,
             policy=self.config.balancer,
             stats=self.stats,
+            checkpoints=self.checkpoints,
+            heartbeat_period=(
+                self.config.heartbeat_period
+                if self.config.heartbeat_period > 0
+                else None
+            ),
+            heartbeat_miss_k=self.config.heartbeat_miss_k,
         )
         self._clients: list[ClientSession] = []
         self._mapper = HilbertKeyMapper(schema)
@@ -118,6 +136,13 @@ class VOLAPCluster:
         )
         self.workers[wid] = w
         w.publish_stats()
+        if self.config.heartbeat_period > 0:
+            w.start_heartbeat(
+                self.config.heartbeat_period,
+                ttl=self.config.heartbeat_miss_k * self.config.heartbeat_period,
+            )
+        if self.config.checkpoint_period > 0:
+            w.start_checkpoints(self.config.checkpoint_period, self.checkpoints)
         return w
 
     def add_workers(self, count: int) -> list[int]:
@@ -162,7 +187,7 @@ class VOLAPCluster:
             wid = worker_ids[i % len(worker_ids)]
             self.workers[wid].install_shard(shard_id, store)
             shard_id += 1
-        self.manager._next_shard_id = shard_id + 1000
+        self.manager.reserve_shard_ids(shard_id + 1000)
         for s in self.servers:
             s.load_image()
         self._periodic_stats()
@@ -182,9 +207,34 @@ class VOLAPCluster:
                 if concurrency is not None
                 else self.config.client_concurrency
             ),
+            retry=self.config.retry,
+            seed=self.config.seed * 7919 + len(self._clients),
         )
         self._clients.append(c)
         return c
+
+    # -- fault injection / chaos controls ------------------------------------
+
+    def inject_faults(self, plan: FaultPlan, seed: Optional[int] = None) -> FaultInjector:
+        """Install a fault plan on the shared transport; returns the
+        injector (for its drop/duplicate/delay counters)."""
+        injector = FaultInjector(
+            plan, self.clock, seed=self.config.seed if seed is None else seed
+        )
+        self.transport.faults = injector
+        return injector
+
+    def clear_faults(self) -> None:
+        self.transport.faults = None
+
+    def crash_worker(self, wid: int) -> None:
+        """Fail-stop worker ``wid``: state lost, messages black-holed.
+        The manager detects the expired heartbeat and restores the
+        worker's shards from checkpoints onto survivors."""
+        self.workers[wid].crash()
+
+    def restart_worker(self, wid: int) -> None:
+        self.workers[wid].restart()
 
     # -- bulk ingestion -------------------------------------------------------
 
@@ -212,7 +262,7 @@ class VOLAPCluster:
                     self.workers[owner[sid]],
                     Message(
                         "bulk_insert",
-                        (sid, sub.take(np.array(rows)), 0, sink),
+                        (sid, sub.take(np.array(rows)), ("bulk", expected[0]), sink),
                         size=len(rows) * 72,
                     ),
                 )

@@ -1,0 +1,258 @@
+"""Fault injection and failure-handling primitives.
+
+The paper's deployment (Sections III-B, IV) runs on EC2, where message
+loss, latency spikes, and instance failure are routine.  This module
+turns the simulated cluster into a testbed for those failure modes:
+
+* :class:`FaultPlan` / :class:`FaultInjector` -- a seeded, declarative
+  description of network faults (drop, duplicate, delay-spike,
+  partition) scoped to entity-name patterns, message kinds, and
+  virtual-time windows.  Installed on a :class:`~.transport.Transport`
+  via ``transport.faults``; when absent the transport's behaviour is
+  byte-identical to the fault-free code path.
+* :class:`RetryPolicy` -- timeouts, bounded retries, and exponential
+  backoff with jitter shared by client sessions and servers.
+* :class:`CheckpointStore` -- a durable blob store (EBS/S3 stand-in)
+  holding periodic shard checkpoints that the manager replays onto
+  surviving workers after a failure.
+
+Everything is deterministic: injectors and retry jitter draw from their
+own seeded generators, so a chaos run replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["FaultRule", "FaultPlan", "FaultInjector", "RetryPolicy", "CheckpointStore"]
+
+
+def _match(pattern: Optional[str], name: Optional[str]) -> bool:
+    """Entity-name match; ``None`` pattern matches anything, but a
+    concrete pattern never matches an unnamed sender."""
+    if pattern is None:
+        return True
+    if name is None:
+        return False
+    return fnmatch(name, pattern)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injected fault, scoped by endpoints, kinds, and a window."""
+
+    action: str  # "drop" | "duplicate" | "delay" | "partition"
+    prob: float = 1.0
+    src: Optional[str] = None  # fnmatch pattern on sender name
+    dst: Optional[str] = None  # fnmatch pattern on destination name
+    kinds: Optional[frozenset] = None
+    start: float = 0.0
+    end: float = float("inf")
+    extra_delay: float = 0.0  # for "delay" rules
+
+    def matches(
+        self,
+        now: float,
+        src_name: Optional[str],
+        dst_name: Optional[str],
+        kind: str,
+    ) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        if self.kinds is not None and kind not in self.kinds:
+            return False
+        if self.action == "partition":
+            # bidirectional: either orientation of the (src, dst) pair
+            return (
+                _match(self.src, src_name) and _match(self.dst, dst_name)
+            ) or (_match(self.src, dst_name) and _match(self.dst, src_name))
+        return _match(self.src, src_name) and _match(self.dst, dst_name)
+
+
+class FaultPlan:
+    """A declarative, ordered list of fault rules (builder style)."""
+
+    def __init__(self) -> None:
+        self.rules: list[FaultRule] = []
+
+    def _add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def drop(
+        self,
+        prob: float,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        kinds: Optional[set] = None,
+        start: float = 0.0,
+        end: float = float("inf"),
+    ) -> "FaultPlan":
+        """Drop matching messages with probability ``prob``."""
+        return self._add(
+            FaultRule(
+                "drop", prob, src, dst,
+                frozenset(kinds) if kinds else None, start, end,
+            )
+        )
+
+    def duplicate(
+        self,
+        prob: float,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        kinds: Optional[set] = None,
+        start: float = 0.0,
+        end: float = float("inf"),
+    ) -> "FaultPlan":
+        """Deliver a second copy of matching messages with ``prob``."""
+        return self._add(
+            FaultRule(
+                "duplicate", prob, src, dst,
+                frozenset(kinds) if kinds else None, start, end,
+            )
+        )
+
+    def delay(
+        self,
+        prob: float,
+        extra: float,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        kinds: Optional[set] = None,
+        start: float = 0.0,
+        end: float = float("inf"),
+    ) -> "FaultPlan":
+        """Add a latency spike of ``extra`` seconds with ``prob``;
+        spiked messages are reordered past later traffic."""
+        return self._add(
+            FaultRule(
+                "delay", prob, src, dst,
+                frozenset(kinds) if kinds else None, start, end,
+                extra_delay=extra,
+            )
+        )
+
+    def partition(
+        self,
+        a: str,
+        b: str,
+        start: float = 0.0,
+        end: float = float("inf"),
+    ) -> "FaultPlan":
+        """Drop all traffic between name patterns ``a`` and ``b`` (both
+        directions) during ``[start, end)``."""
+        return self._add(FaultRule("partition", 1.0, a, b, None, start, end))
+
+    def isolate(
+        self, name: str, start: float = 0.0, end: float = float("inf")
+    ) -> "FaultPlan":
+        """Cut one entity off from everything during ``[start, end)``."""
+        return self._add(FaultRule("partition", 1.0, name, None, None, start, end))
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a transport's deliveries.
+
+    ``plan_delivery`` returns the list of extra delays for each copy of
+    a message to deliver: ``[]`` means dropped, ``[0.0]`` is a normal
+    delivery, ``[0.0, 0.0]`` a duplicate, and non-zero entries are
+    latency spikes.  Decisions draw from a dedicated seeded generator,
+    independent of the transport's latency jitter stream.
+    """
+
+    def __init__(self, plan: FaultPlan, clock, seed: int = 0):
+        self.plan = plan
+        self.clock = clock
+        self.rng = np.random.default_rng(seed)
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def plan_delivery(self, msg, dst) -> list:
+        now = self.clock.now
+        src_name = msg.sender.name if msg.sender is not None else None
+        dst_name = getattr(dst, "name", None)
+        copies = [0.0]
+        for rule in self.plan.rules:
+            if not rule.matches(now, src_name, dst_name, msg.kind):
+                continue
+            if rule.prob < 1.0 and self.rng.random() >= rule.prob:
+                continue
+            if rule.action in ("drop", "partition"):
+                self.dropped += 1
+                return []
+            if rule.action == "duplicate":
+                self.duplicated += 1
+                copies.append(0.0)
+            elif rule.action == "delay":
+                self.delayed += 1
+                copies = [c + rule.extra_delay for c in copies]
+        return copies
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout / retry / backoff parameters for the request path.
+
+    Defaults are deliberately generous relative to simulated latencies
+    (microseconds to milliseconds) so the healthy path never trips a
+    timer; chaos tests override them with tight values.
+    """
+
+    #: client: per-operation timeout before a retransmit
+    timeout: float = 60.0
+    #: client: total attempts (first send included) before giving up
+    max_attempts: int = 4
+    #: server: per-insert timeout before re-routing
+    insert_timeout: float = 30.0
+    #: server: re-routes (nack- or timeout-triggered) before insert_failed
+    max_insert_retries: int = 5
+    #: server: per-query worker deadline before a degraded reply
+    query_deadline: float = 30.0
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.02
+
+    def backoff(self, attempt: int, rng: np.random.Generator) -> float:
+        """Exponential backoff with jitter for retry ``attempt`` (1-based)."""
+        d = self.backoff_base * self.backoff_factor ** max(0, attempt - 1)
+        if self.backoff_jitter > 0:
+            d += float(rng.uniform(0.0, self.backoff_jitter))
+        return d
+
+
+class CheckpointStore:
+    """Durable shard checkpoints (stand-in for EBS/S3 blobs).
+
+    Workers overwrite their shards' blobs on a periodic tick; after a
+    worker failure the manager replays the latest blob of each lost
+    shard onto a surviving worker.  Data inserted after the last
+    checkpoint is lost -- exactly the recovery-point semantics of
+    periodic snapshots.
+    """
+
+    def __init__(self) -> None:
+        #: shard_id -> (blob, worker_id, checkpoint_time)
+        self._blobs: dict[int, tuple[bytes, int, float]] = {}
+        self.puts = 0
+
+    def put(self, shard_id: int, blob: bytes, worker_id: int, time: float) -> None:
+        self._blobs[shard_id] = (blob, worker_id, time)
+        self.puts += 1
+
+    def get(self, shard_id: int) -> Optional[tuple[bytes, int, float]]:
+        return self._blobs.get(shard_id)
+
+    def drop(self, shard_id: int) -> None:
+        self._blobs.pop(shard_id, None)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def shard_ids(self) -> list[int]:
+        return sorted(self._blobs)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .faults import CheckpointStore
 from .simclock import SimClock
 from .stats import ClusterStats
 from .transport import Entity, Message, Transport
@@ -38,6 +39,9 @@ class BalancerPolicy:
     min_migrate_items: int = 200
     scan_period: float = 1.0
     max_inflight: int = 4
+    #: give up on a split/migration that produced no reply (e.g. the
+    #: destination died mid-transfer) after this many virtual seconds
+    op_timeout: float = 10.0
 
 
 class Manager(Entity):
@@ -52,6 +56,9 @@ class Manager(Entity):
         policy: Optional[BalancerPolicy] = None,
         stats: Optional[ClusterStats] = None,
         first_shard_id: int = 1_000,
+        checkpoints: Optional[CheckpointStore] = None,
+        heartbeat_period: Optional[float] = None,
+        heartbeat_miss_k: int = 4,
     ):
         self.name = "manager"
         self.clock = clock
@@ -60,17 +67,38 @@ class Manager(Entity):
         self.workers = workers
         self.policy = policy if policy is not None else BalancerPolicy()
         self.stats = stats if stats is not None else ClusterStats()
+        self.checkpoints = checkpoints
+        #: failure detection is active iff workers heartbeat
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_miss_k = heartbeat_miss_k
+        self.dead_workers: set[int] = set()
+        self._seen_beat: set[int] = set()
+        #: shards awaiting a (re-)restore after their owner died
+        self._pending_restores: set[int] = set()
+        #: shard id -> worker that holds the accepted restored copy
+        self._restored_to: dict[int, int] = {}
+        self._restore_rr = 0
         self._next_shard_id = first_shard_id
-        self._busy_shards: set[int] = set()
+        #: shard id -> (epoch, op kind) while a split/migration/restore runs
+        self._busy_shards: dict[int, tuple[int, str]] = {}
+        self._op_epoch = 0
         self._inflight = 0
         self.splits_started = 0
         self.migrations_started = 0
+        self.failovers_handled = 0
+        self.restores_done = 0
+        self.ops_timed_out = 0
         self.enabled = True
         clock.every(self.policy.scan_period, self.scan)
 
     def allocate_shard_id(self) -> int:
         self._next_shard_id += 1
         return self._next_shard_id
+
+    def reserve_shard_ids(self, upto: int) -> None:
+        """Ensure future allocations start above ``upto`` (bootstrap
+        claims low ids for the initial shards)."""
+        self._next_shard_id = max(self._next_shard_id, upto)
 
     # -- periodic decision loop -------------------------------------------
 
@@ -83,14 +111,84 @@ class Manager(Entity):
         return state
 
     def scan(self) -> None:
-        if not self.enabled or self._inflight >= self.policy.max_inflight:
+        if not self.enabled:
+            return
+        self._check_failures()
+        # retry restores that stalled (target died mid-restore, or no
+        # survivor existed when the owner was declared dead)
+        for sid in sorted(self._pending_restores):
+            if sid not in self._busy_shards:
+                self._try_restore(sid)
+        if self._inflight >= self.policy.max_inflight:
             return
         state = self._worker_state()
+        state = {
+            wid: d for wid, d in state.items() if wid not in self.dead_workers
+        }
         if len(state) < 1:
             return
         self._scan_splits(state)
         if self._inflight < self.policy.max_inflight:
             self._scan_migrations(state)
+
+    # -- failure detection / recovery (heartbeats + checkpoints) ----------
+
+    def _check_failures(self) -> None:
+        """Declare workers dead when their ephemeral heartbeat znode has
+        expired (K missed beats), then restore their shards."""
+        if self.heartbeat_period is None:
+            return
+        for wid in list(self.workers):
+            beat = self.zk.get(f"/heartbeats/{wid}")
+            if beat is not None:
+                self._seen_beat.add(wid)
+                if wid in self.dead_workers:
+                    # the worker restarted and is heartbeating again
+                    self.dead_workers.discard(wid)
+                continue
+            if wid in self._seen_beat and wid not in self.dead_workers:
+                self._declare_dead(wid)
+
+    def _declare_dead(self, wid: int) -> None:
+        self.dead_workers.add(wid)
+        self.failovers_handled += 1
+        self.zk.delete(f"/stats/workers/{wid}")
+        lost = []
+        for name in self.zk.ls("/shards"):
+            data = self.zk.get(f"/shards/{name}")
+            if data is not None and data[2] == wid:
+                lost.append(int(name))
+        self.stats.record_failover(self.clock.now, wid, len(lost))
+        for sid in sorted(lost):
+            self._pending_restores.add(sid)
+            self._restored_to.pop(sid, None)
+            self._try_restore(sid)
+
+    def _try_restore(self, sid: int) -> None:
+        """Send the shard's checkpoint to an alive worker.  A no-op when
+        no survivor exists; the periodic scan retries once one revives
+        (or the crashed worker itself restarts)."""
+        if sid in self._busy_shards:
+            return
+        targets = sorted(
+            w for w in self.workers if w not in self.dead_workers
+        )
+        if not targets:
+            return
+        self._restore_rr += 1
+        dst = self.workers[targets[self._restore_rr % len(targets)]]
+        ck = self.checkpoints.get(sid) if self.checkpoints else None
+        blob = ck[0] if ck is not None else None
+        self._mark_busy(sid, "restore")
+        self.transport.send(
+            dst,
+            Message(
+                "restore_shard",
+                (sid, blob, self),
+                size=len(blob) if blob is not None else 64,
+                sender=self,
+            ),
+        )
 
     def _scan_splits(self, state: dict[int, dict]) -> None:
         for wid, data in state.items():
@@ -153,23 +251,58 @@ class Manager(Entity):
 
     # -- operations -----------------------------------------------------------
 
+    def _mark_busy(self, shard_id: int, kind: str, src: Optional[int] = None) -> None:
+        """Track an in-flight op and arm a give-up timer so an op whose
+        participant died cannot leak the shard's busy slot forever."""
+        self._op_epoch += 1
+        epoch = self._op_epoch
+        self._busy_shards[shard_id] = (epoch, kind)
+
+        def fire() -> None:
+            if self._busy_shards.get(shard_id) != (epoch, kind):
+                return  # completed (or superseded) in time
+            del self._busy_shards[shard_id]
+            self.ops_timed_out += 1
+            if kind in ("split", "migrate"):
+                self._inflight -= 1
+            if kind == "migrate" and src is not None:
+                # unwedge the frozen source shard
+                self.transport.send(
+                    self.workers[src],
+                    Message("migrate_abort", (shard_id,), sender=self),
+                )
+            if kind == "restore" and shard_id in self._pending_restores:
+                self._try_restore(shard_id)  # pick another survivor
+
+        self.clock.after(self.policy.op_timeout, fire)
+
+    def _release(self, shard_id: int, expected_kind: str) -> bool:
+        entry = self._busy_shards.pop(shard_id, None)
+        if entry is None:
+            return False  # already timed out
+        if entry[1] in ("split", "migrate"):
+            self._inflight -= 1
+        return True
+
     def _start_split(self, worker_id: int, shard_id: int) -> None:
-        self._busy_shards.add(shard_id)
+        self._mark_busy(shard_id, "split")
         self._inflight += 1
         self.splits_started += 1
         low, high = self.allocate_shard_id(), self.allocate_shard_id()
         self.transport.send(
             self.workers[worker_id],
-            Message("split_shard", (shard_id, low, high, self)),
+            Message("split_shard", (shard_id, low, high, self), sender=self),
         )
 
     def _start_migration(self, src: int, dst: int, shard_id: int) -> None:
-        self._busy_shards.add(shard_id)
+        self._mark_busy(shard_id, "migrate", src=src)
         self._inflight += 1
         self.migrations_started += 1
         self.transport.send(
             self.workers[src],
-            Message("migrate_shard", (shard_id, self.workers[dst], self)),
+            Message(
+                "migrate_shard", (shard_id, self.workers[dst], self), sender=self
+            ),
         )
 
     # -- acknowledgements -----------------------------------------------------
@@ -177,17 +310,38 @@ class Manager(Entity):
     def receive(self, msg: Message) -> None:
         if msg.kind == "split_done":
             shard_id, _low, _high, _wid = msg.payload
-            self._busy_shards.discard(shard_id)
-            self._inflight -= 1
-            self.stats.record_split(self.clock.now)
+            if self._release(shard_id, "split"):
+                self.stats.record_split(self.clock.now)
         elif msg.kind == "migrate_done":
             shard_id, _src, _dst = msg.payload
-            self._busy_shards.discard(shard_id)
-            self._inflight -= 1
-            self.stats.record_migration(self.clock.now)
+            if self._release(shard_id, "migrate"):
+                self.stats.record_migration(self.clock.now)
         elif msg.kind in ("split_failed", "migrate_failed"):
             shard_id = msg.payload[0]
-            self._busy_shards.discard(shard_id)
-            self._inflight -= 1
+            self._release(shard_id, msg.kind.split("_")[0])
+        elif msg.kind == "restore_done":
+            shard_id, wid, _size = msg.payload
+            self._busy_shards.pop(shard_id, None)
+            if shard_id in self._pending_restores:
+                self._pending_restores.discard(shard_id)
+                self.restores_done += 1
+            # a timed-out attempt may have been re-issued and both copies
+            # completed: keep the one the system image names, drop the other
+            data = self.zk.get(f"/shards/{shard_id}")
+            owner = data[2] if data is not None else wid
+            if owner != wid:
+                self._drop_copy(wid, shard_id)
+            else:
+                prev = self._restored_to.get(shard_id)
+                if prev is not None and prev != wid:
+                    self._drop_copy(prev, shard_id)
+                self._restored_to[shard_id] = wid
         else:
             raise ValueError(f"manager: unknown message {msg.kind!r}")
+
+    def _drop_copy(self, wid: int, shard_id: int) -> None:
+        if wid in self.workers and wid not in self.dead_workers:
+            self.transport.send(
+                self.workers[wid],
+                Message("drop_shard", (shard_id,), sender=self),
+            )

@@ -27,6 +27,7 @@ import numpy as np
 from ..core.aggregates import Aggregate
 from ..olap.schema import Schema
 from .cost import CostModel
+from .faults import RetryPolicy
 from .image import LocalImage, ShardInfo
 from .simclock import ServicePool, SimClock
 from .transport import Entity, Message, Transport
@@ -39,17 +40,24 @@ __all__ = ["Server"]
 @dataclass
 class _PendingQuery:
     token: int
+    op_id: int
     reply_to: Entity
     submit_time: float
     agg: Aggregate
-    waiting: int
     shards_searched: int
     coverage: float
+    #: worker_id -> number of shards requested from it, removed as
+    #: results arrive; what remains at the deadline is uncovered
+    per_worker: dict
+    shards_total: int
+    #: requested shards a worker answered for but no longer holds
+    unresolved: int = 0
 
 
 @dataclass
 class _PendingInsert:
     token: int
+    op_id: int
     reply_to: Entity
     submit_time: float
     coords: np.ndarray
@@ -73,6 +81,7 @@ class Server(Entity):
         cost: Optional[CostModel] = None,
         image_fanout: int = 8,
         image_key_kind: str = "mbr",
+        retry: Optional[RetryPolicy] = None,
     ):
         self.server_id = server_id
         self.name = f"server-{server_id}"
@@ -87,12 +96,18 @@ class Server(Entity):
         self.image = LocalImage(
             schema.num_dims, fanout=image_fanout, key_kind=image_key_kind
         )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = np.random.default_rng(10_000 + server_id)
         self._pending_queries: dict[int, _PendingQuery] = {}
         self._pending_inserts: dict[int, _PendingInsert] = {}
         self._token = 0
         self.inserts_routed = 0
         self.queries_routed = 0
         self.syncs = 0
+        self.insert_failures = 0
+        self.insert_timeouts = 0
+        self.insert_retries = 0
+        self.degraded_queries = 0
         # subscribe to system image changes
         zk.watch("/shards/", self._on_shard_event)
         zk.watch("/boxes/", self._on_box_event)
@@ -126,15 +141,18 @@ class Server(Entity):
         return (self.server_id << 32) | self._token
 
     def _on_client_insert(self, msg: Message) -> None:
-        coords, measure, reply_to = msg.payload
+        op_id, coords, measure, reply_to = msg.payload
         token = self._next_token()
         self._pending_inserts[token] = _PendingInsert(
-            token, reply_to, self.clock.now, coords, measure
+            token, op_id, reply_to, self.clock.now, coords, measure
         )
         self._route_insert(token)
+        self._arm_insert_timer(token, self.retry.insert_timeout)
 
     def _route_insert(self, token: int) -> None:
-        pending = self._pending_inserts[token]
+        pending = self._pending_inserts.get(token)
+        if pending is None:
+            return
         info = self.image.route_insert(pending.coords)
         self.inserts_routed += 1
         service = self.cost.route_time(self.image.nodes_visited_last)
@@ -150,12 +168,67 @@ class Server(Entity):
                         pending.coords,
                         pending.measure,
                         token,
+                        pending.op_id,
                         self,
                     ),
+                    sender=self,
                 ),
             )
 
         self.pool.submit(service, forward)
+
+    def _arm_insert_timer(self, token: int, delay: float) -> None:
+        pending = self._pending_inserts.get(token)
+        if pending is None:
+            return
+        attempt = pending.retries
+
+        def fire() -> None:
+            cur = self._pending_inserts.get(token)
+            if cur is None or cur.retries != attempt:
+                return  # completed, failed, or already retried
+            self.insert_timeouts += 1
+            self._retry_insert(token, refresh=False)
+
+        self.clock.after(delay, fire)
+
+    def _retry_insert(self, token: int, refresh: bool) -> None:
+        """Shared retry path for nacks (stale route) and timeouts
+        (lost message / dead worker): bounded attempts with exponential
+        backoff + jitter, then an explicit ``insert_failed``."""
+        pending = self._pending_inserts.get(token)
+        if pending is None:
+            return
+        pending.retries += 1
+        self.insert_retries += 1
+        if pending.retries > self.retry.max_insert_retries:
+            self._fail_insert(token)
+            return
+        delay = self.retry.backoff(pending.retries, self._rng)
+        if refresh:
+            self.load_image()
+
+        def resend() -> None:
+            # the image may have converged during the backoff; re-read
+            self.load_image()
+            self._route_insert(token)
+
+        self.clock.after(delay, resend)
+        self._arm_insert_timer(token, delay + self.retry.insert_timeout)
+
+    def _fail_insert(self, token: int) -> None:
+        pending = self._pending_inserts.pop(token, None)
+        if pending is None:
+            return
+        self.insert_failures += 1
+        self.transport.send(
+            pending.reply_to,
+            Message(
+                "insert_failed",
+                (pending.op_id, pending.submit_time),
+                sender=self,
+            ),
+        )
 
     def _on_insert_ack(self, msg: Message) -> None:
         token, _worker_id = msg.payload
@@ -164,32 +237,26 @@ class Server(Entity):
             return
         self.transport.send(
             pending.reply_to,
-            Message("insert_done", (token, pending.submit_time)),
+            Message(
+                "insert_done", (pending.op_id, pending.submit_time), sender=self
+            ),
         )
 
     def _on_insert_nack(self, msg: Message) -> None:
         """Stale route: refresh from Zookeeper and retry (bounded)."""
         token, _shard_id = msg.payload
-        pending = self._pending_inserts.get(token)
-        if pending is None:
-            return
-        pending.retries += 1
-        if pending.retries > 5:
-            del self._pending_inserts[token]
-            return
-        self.load_image()
-        self._route_insert(token)
+        self._retry_insert(token, refresh=True)
 
     def _on_client_query(self, msg: Message) -> None:
-        query, reply_to = msg.payload
+        op_id, query, reply_to = msg.payload
         token = self._next_token()
         infos = self.image.search(query.box)
         self.queries_routed += 1
         service = self.cost.route_time(self.image.nodes_visited_last)
         if not infos:
             pending = _PendingQuery(
-                token, reply_to, self.clock.now, Aggregate.empty(), 0, 0,
-                query.coverage,
+                token, op_id, reply_to, self.clock.now, Aggregate.empty(),
+                0, query.coverage, {}, 0,
             )
             self.pool.submit(
                 service, lambda: self._finish_query(pending)
@@ -200,12 +267,14 @@ class Server(Entity):
             by_worker.setdefault(info.worker_id, []).append(info.shard_id)
         pending = _PendingQuery(
             token,
+            op_id,
             reply_to,
             self.clock.now,
             Aggregate.empty(),
-            len(by_worker),
             0,
             query.coverage,
+            {wid: len(sids) for wid, sids in by_worker.items()},
+            len(infos),
         )
         self._pending_queries[token] = pending
         box_t = query.box.to_tuple()
@@ -214,36 +283,70 @@ class Server(Entity):
             for worker_id, shard_ids in by_worker.items():
                 self.transport.send(
                     self.workers[worker_id],
-                    Message("query", (token, shard_ids, box_t, self)),
+                    Message(
+                        "query", (token, shard_ids, box_t, self), sender=self
+                    ),
                 )
 
         self.pool.submit(service, fan_out)
+        self.clock.after(
+            self.retry.query_deadline, lambda: self._query_deadline(token)
+        )
 
     def _on_query_result(self, msg: Message) -> None:
-        token, agg_t, searched, _worker_id = msg.payload
+        token, agg_t, searched, worker_id, unresolved = msg.payload
         pending = self._pending_queries.get(token)
         if pending is None:
-            return
+            return  # finished, or deadline already returned a partial
         pending.agg.merge(Aggregate(*agg_t))
         pending.shards_searched += searched
-        pending.waiting -= 1
-        if pending.waiting == 0:
+        pending.unresolved += unresolved
+        pending.per_worker.pop(worker_id, None)
+        if not pending.per_worker:
             del self._pending_queries[token]
             service = self.cost.merge_time(pending.shards_searched)
-            self.pool.submit(service, lambda: self._finish_query(pending))
+            achieved = self._achieved(pending)
+            if achieved < 1.0:
+                self.degraded_queries += 1
+            self.pool.submit(
+                service, lambda: self._finish_query(pending, achieved)
+            )
 
-    def _finish_query(self, pending: _PendingQuery) -> None:
+    def _achieved(self, pending: _PendingQuery, at_deadline: bool = False) -> float:
+        missing = pending.unresolved
+        if at_deadline:
+            missing += sum(pending.per_worker.values())
+        if not pending.shards_total or missing <= 0:
+            return 1.0
+        return max(0.0, 1.0 - missing / pending.shards_total)
+
+    def _query_deadline(self, token: int) -> None:
+        """Per-request deadline: answer with whatever arrived rather
+        than hang on a slow, partitioned, or dead worker."""
+        pending = self._pending_queries.pop(token, None)
+        if pending is None:
+            return
+        self.degraded_queries += 1
+        achieved = self._achieved(pending, at_deadline=True)
+        service = self.cost.merge_time(max(1, pending.shards_searched))
+        self.pool.submit(
+            service, lambda: self._finish_query(pending, achieved)
+        )
+
+    def _finish_query(self, pending: _PendingQuery, achieved: float = 1.0) -> None:
         self.transport.send(
             pending.reply_to,
             Message(
                 "query_done",
                 (
-                    pending.token,
+                    pending.op_id,
                     pending.submit_time,
                     pending.agg,
                     pending.shards_searched,
                     pending.coverage,
+                    achieved,
                 ),
+                sender=self,
             ),
         )
 

@@ -25,6 +25,13 @@ class OpRecord:
     coverage: float = float("nan")
     shards_searched: int = 0
     result_count: int = 0
+    #: False when the operation failed (retry exhaustion / insert_failed)
+    ok: bool = True
+    #: achieved coverage fraction: 1.0 for complete answers, < 1.0 when
+    #: a query hit its per-worker deadline and returned a partial result
+    achieved: float = 1.0
+    #: client-side send attempts (1 = no retransmits)
+    attempts: int = 1
 
     @property
     def latency(self) -> float:
@@ -42,11 +49,20 @@ class ClusterStats:
         self.worker_sizes: list[tuple[float, dict[int, int]]] = []
         #: (time, kind) of balancing operations
         self.balance_events: list[tuple[float, str]] = []
+        #: operations that gave up (insert_failed / retry exhaustion)
+        self.failures = 0
+        #: (time, worker_id, shards_restored) per declared worker failure
+        self.failovers: list[tuple[float, int, int]] = []
 
     # -- recording -----------------------------------------------------------
 
     def record_op(self, rec: OpRecord) -> None:
         self.ops.append(rec)
+        if not rec.ok:
+            self.failures += 1
+
+    def record_failover(self, time: float, worker_id: int, shards: int) -> None:
+        self.failovers.append((time, worker_id, shards))
 
     def record_split(self, time: float) -> None:
         self.splits += 1
@@ -80,6 +96,16 @@ class ClusterStats:
                 continue
             out.append(r)
         return out
+
+    def degraded(
+        self, since: float = 0.0, until: float = float("inf")
+    ) -> list[OpRecord]:
+        """Queries that completed with partial (deadline-bounded) coverage."""
+        return [
+            r
+            for r in self.select(kind="query", since=since, until=until)
+            if r.ok and r.achieved < 1.0
+        ]
 
     def throughput(self, records: list[OpRecord]) -> float:
         """Completed operations per virtual second."""

@@ -71,15 +71,23 @@ class Transport:
         self.rng = np.random.default_rng(seed)
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: optional FaultInjector (see faults.py); ``None`` keeps the
+        #: delivery path byte-identical to the fault-free transport
+        self.faults = None
 
     def send(self, dst: Entity, msg: Message) -> None:
         """Schedule delivery of ``msg`` to ``dst``."""
         self.messages_sent += 1
         self.bytes_sent += msg.size
         delay = self.latency.delay(msg.size, self.rng)
+        if self.faults is not None:
+            for extra in self.faults.plan_delivery(msg, dst):
+                self.clock.after(delay + extra, lambda: dst.receive(msg))
+            return
         self.clock.after(delay, lambda: dst.receive(msg))
 
     def send_local(self, dst: Entity, msg: Message) -> None:
         """Same-process delivery (inter-thread ZeroMQ): negligible delay."""
         self.messages_sent += 1
+        self.bytes_sent += msg.size
         self.clock.after(1e-6, lambda: dst.receive(msg))

@@ -29,6 +29,7 @@ from ..olap.keys import Box
 from ..olap.records import RecordBatch, concat_batches
 from ..olap.schema import Schema
 from .cost import CostModel
+from .faults import CheckpointStore
 from .simclock import ServicePool, SimClock
 from .wire import key_to_wire
 from .transport import Entity, Message, Transport
@@ -70,6 +71,94 @@ class Worker(Entity):
         self.frozen: set[int] = set()
         self.inserts_done = 0
         self.queries_done = 0
+        # -- failure handling state --------------------------------------
+        self.crashed = False
+        #: bumped on crash/restart; pending pool callbacks from an older
+        #: epoch are discarded (a dead process does not send acks)
+        self._epoch = 0
+        #: idempotency tokens of inserts already applied (dedup)
+        self._seen_ops: set = set()
+        self.dedup_hits = 0
+        self.checkpoints: Optional[CheckpointStore] = None
+        self.heartbeat_period: Optional[float] = None
+        self.heartbeat_ttl: Optional[float] = None
+
+    # -- crash / restart ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: lose all in-memory state and stop processing.
+
+        Heartbeats cease (the ephemeral znode expires), pending service
+        completions are discarded, and every incoming message is
+        black-holed until :meth:`restart`.
+        """
+        self.crashed = True
+        self._epoch += 1
+        self.shards.clear()
+        self.queues.clear()
+        self.mapping.clear()
+        self.frozen.clear()
+        self._seen_ops.clear()
+
+    def restart(self) -> None:
+        """Rejoin empty; shards come back via manager-driven restores."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self._epoch += 1
+        self.publish_stats()
+        self._beat()
+
+    def _submit(self, service: float, fn) -> None:
+        """Pool submit whose completion is void if the worker crashed."""
+        epoch = self._epoch
+        self.pool.submit(
+            service, lambda: fn() if self._epoch == epoch else None
+        )
+
+    # -- heartbeats / checkpoints -----------------------------------------
+
+    def _beat(self) -> None:
+        if self.crashed or self.heartbeat_period is None:
+            return
+        self.zk.set_ephemeral(
+            f"/heartbeats/{self.worker_id}", self.clock.now, self.heartbeat_ttl
+        )
+
+    def start_heartbeat(self, period: float, ttl: Optional[float] = None) -> None:
+        """Publish liveness as an ephemeral znode refreshed every
+        ``period`` seconds; it expires ``ttl`` seconds after the last
+        refresh (default: 3 missed beats)."""
+        self.heartbeat_period = period
+        self.heartbeat_ttl = ttl if ttl is not None else 3 * period
+        self._beat()
+        self.clock.every(period, self._beat)
+
+    def start_checkpoints(self, period: float, store: CheckpointStore) -> None:
+        """Serialize every settled shard to ``store`` each ``period``."""
+        self.checkpoints = store
+
+        def tick() -> None:
+            if not self.crashed:
+                self.checkpoint()
+
+        self.clock.every(period, tick)
+
+    def checkpoint(self) -> None:
+        """Write the latest blob of each non-frozen shard."""
+        if self.checkpoints is None:
+            return
+        total = 0
+        for sid, store in list(self.shards.items()):
+            if sid in self.frozen:
+                continue
+            self.checkpoints.put(
+                sid, store.serialize(), self.worker_id, self.clock.now
+            )
+            total += len(store)
+        if total:
+            # background serialization occupies a thread but sends nothing
+            self._submit(self.cost.serialize_time(total), lambda: None)
 
     # -- sizes ------------------------------------------------------------
 
@@ -80,6 +169,8 @@ class Worker(Entity):
 
     def publish_stats(self) -> None:
         """Push per-shard and total sizes to Zookeeper (paper III-B)."""
+        if self.crashed:
+            return
         self.zk.set(
             f"/stats/workers/{self.worker_id}",
             {
@@ -106,6 +197,8 @@ class Worker(Entity):
     # -- message handling ----------------------------------------------------
 
     def receive(self, msg: Message) -> None:
+        if self.crashed:
+            return  # a dead process neither reads nor replies
         handler = getattr(self, f"_on_{msg.kind}", None)
         if handler is None:
             raise ValueError(f"{self.name}: unknown message {msg.kind!r}")
@@ -114,7 +207,16 @@ class Worker(Entity):
     # insert ------------------------------------------------------------
 
     def _on_insert(self, msg: Message) -> None:
-        shard_id, coords, measure, token, reply_to = msg.payload
+        shard_id, coords, measure, token, op_id, reply_to = msg.payload
+        if op_id and op_id in self._seen_ops:
+            # duplicated or retransmitted insert: already applied, so
+            # just re-ack (exactly-once effect under at-least-once sends)
+            self.dedup_hits += 1
+            self.transport.send(
+                reply_to,
+                Message("insert_ack", (token, self.worker_id), sender=self),
+            )
+            return
         sid = self._resolve_insert(shard_id, coords)
         if sid in self.frozen:
             stats = self.queues[sid].insert(coords, measure)
@@ -124,20 +226,32 @@ class Worker(Entity):
             # Shard moved away entirely; a stale route. Reject so the
             # server can retry against its refreshed image.
             self.transport.send(
-                reply_to, Message("insert_nack", (token, shard_id))
+                reply_to, Message("insert_nack", (token, shard_id), sender=self)
             )
             return
+        if op_id:
+            self._seen_ops.add(op_id)
         self.inserts_done += 1
         service = self.cost.insert_time(stats)
-        self.pool.submit(
+        self._submit(
             service,
             lambda: self.transport.send(
-                reply_to, Message("insert_ack", (token, self.worker_id))
+                reply_to,
+                Message("insert_ack", (token, self.worker_id), sender=self),
             ),
         )
 
     def _on_bulk_insert(self, msg: Message) -> None:
         shard_id, batch, token, reply_to = msg.payload
+        if token and token in self._seen_ops:
+            self.dedup_hits += 1
+            self.transport.send(
+                reply_to,
+                Message("bulk_ack", (token, self.worker_id), sender=self),
+            )
+            return
+        if token:
+            self._seen_ops.add(token)
         # split rows among mapped children if necessary
         groups: dict[int, list[int]] = {}
         for i in range(len(batch)):
@@ -155,10 +269,11 @@ class Worker(Entity):
             self._bulk_into(sid, target, sub, frozen=sid in self.frozen)
         self.inserts_done += len(batch)
         service = self.cost.bulk_time(len(batch))
-        self.pool.submit(
+        self._submit(
             service,
             lambda: self.transport.send(
-                reply_to, Message("bulk_ack", (token, self.worker_id))
+                reply_to,
+                Message("bulk_ack", (token, self.worker_id), sender=self),
             ),
         )
 
@@ -185,7 +300,9 @@ class Worker(Entity):
         agg = Aggregate.empty()
         total_stats = OpStats()
         searched = 0
+        missing = 0
         for requested in shard_ids:
+            hit = False
             for sid in self._resolve_query(requested):
                 store = self.shards.get(sid)
                 if store is not None:
@@ -193,20 +310,28 @@ class Worker(Entity):
                     agg.merge(sub)
                     total_stats.merge(stats)
                     searched += 1
+                    hit = True
                 queue = self.queues.get(sid)
                 if queue is not None and len(queue):
                     sub, stats = queue.query(box)
                     agg.merge(sub)
                     total_stats.merge(stats)
+                    hit = True
+            if not hit:
+                # the system image still names this worker for a shard it
+                # no longer holds (e.g. restarted after a crash, restore
+                # pending): report the gap so coverage stays honest
+                missing += 1
         self.queries_done += 1
         service = self.cost.query_time(total_stats)
-        self.pool.submit(
+        self._submit(
             service,
             lambda: self.transport.send(
                 reply_to,
                 Message(
                     "query_result",
-                    (token, agg.to_tuple(), searched, self.worker_id),
+                    (token, agg.to_tuple(), searched, self.worker_id, missing),
+                    sender=self,
                 ),
             ),
         )
@@ -218,7 +343,8 @@ class Worker(Entity):
         store = self.shards.get(shard_id)
         if store is None or shard_id in self.frozen or len(store) < 2:
             self.transport.send(
-                reply_to, Message("split_failed", (shard_id, self.worker_id))
+                reply_to,
+                Message("split_failed", (shard_id, self.worker_id), sender=self),
             )
             return
         # Freeze: new inserts go to the insertion queue; queries keep
@@ -232,7 +358,8 @@ class Worker(Entity):
             self._drain_queue_into(shard_id, store)
             del self.queues[shard_id]
             self.transport.send(
-                reply_to, Message("split_failed", (shard_id, self.worker_id))
+                reply_to,
+                Message("split_failed", (shard_id, self.worker_id), sender=self),
             )
             return
         service = self.cost.split_time(len(store))
@@ -252,15 +379,18 @@ class Worker(Entity):
             self._publish_shard(new_low)
             self._publish_shard(new_high)
             self.zk.delete(f"/shards/{shard_id}")
+            if self.checkpoints is not None:
+                self.checkpoints.drop(shard_id)  # parent id no longer exists
             self.transport.send(
                 reply_to,
                 Message(
                     "split_done",
                     (shard_id, new_low, new_high, self.worker_id),
+                    sender=self,
                 ),
             )
 
-        self.pool.submit(service, finish)
+        self._submit(service, finish)
 
     def _drain_queue_into(self, shard_id: int, store: ShardStore) -> None:
         queue = self.queues.get(shard_id)
@@ -276,7 +406,8 @@ class Worker(Entity):
         store = self.shards.get(shard_id)
         if store is None or shard_id in self.frozen:
             self.transport.send(
-                reply_to, Message("migrate_failed", (shard_id, self.worker_id))
+                reply_to,
+                Message("migrate_failed", (shard_id, self.worker_id), sender=self),
             )
             return
         self.frozen.add(shard_id)
@@ -291,10 +422,24 @@ class Worker(Entity):
                     "migrate_in",
                     (shard_id, blob, self, reply_to),
                     size=len(blob),
+                    sender=self,
                 ),
             )
 
-        self.pool.submit(service, send_blob)
+        self._submit(service, send_blob)
+
+    def _on_migrate_abort(self, msg: Message) -> None:
+        """Manager gave up on a wedged migration (e.g. the destination
+        died mid-transfer): unfreeze and fold the queue back in."""
+        shard_id = msg.payload[0]
+        if shard_id not in self.frozen:
+            return
+        store = self.shards.get(shard_id)
+        if store is None:
+            return
+        self.frozen.discard(shard_id)
+        self._drain_queue_into(shard_id, store)
+        self.queues.pop(shard_id, None)
 
     def _on_migrate_in(self, msg: Message) -> None:
         shard_id, blob, src, reply_to = msg.payload
@@ -304,13 +449,25 @@ class Worker(Entity):
         def ready() -> None:
             self.shards[shard_id] = store
             self.transport.send(
-                src, Message("migrate_ready", (shard_id, self, reply_to))
+                src,
+                Message("migrate_ready", (shard_id, self, reply_to), sender=self),
             )
 
-        self.pool.submit(service, ready)
+        self._submit(service, ready)
 
     def _on_migrate_ready(self, msg: Message) -> None:
         shard_id, dst, reply_to = msg.payload
+        if shard_id not in self.frozen:
+            # the migration was aborted before the destination became
+            # ready: keep ownership, tell the destination to discard
+            self.transport.send(
+                dst, Message("drop_shard", (shard_id,), sender=self)
+            )
+            self.transport.send(
+                reply_to,
+                Message("migrate_failed", (shard_id, self.worker_id), sender=self),
+            )
+            return
         # Hand off anything queued during the transfer, then cut over.
         queue = self.queues.pop(shard_id, None)
         self.frozen.discard(shard_id)
@@ -322,6 +479,7 @@ class Worker(Entity):
                     "queue_transfer",
                     (shard_id, queue.items(), dst),
                     size=len(queue) * 72,
+                    sender=self,
                 ),
             )
         info_key = (
@@ -341,7 +499,9 @@ class Worker(Entity):
         self.transport.send(
             reply_to,
             Message(
-                "migrate_done", (shard_id, self.worker_id, dst.worker_id)
+                "migrate_done",
+                (shard_id, self.worker_id, dst.worker_id),
+                sender=self,
             ),
         )
 
@@ -352,6 +512,49 @@ class Worker(Entity):
             return
         for coords, m in batch.iter_rows():
             store.insert(coords, m)
+
+    def _on_drop_shard(self, msg: Message) -> None:
+        """Discard an orphan copy left by an aborted migration."""
+        shard_id = msg.payload[0]
+        if shard_id not in self.frozen:
+            self.shards.pop(shard_id, None)
+
+    # -- failover restore ------------------------------------------------------
+
+    def _on_restore_shard(self, msg: Message) -> None:
+        """Install a checkpointed shard lost by a failed worker.
+
+        ``blob`` is the latest checkpoint (``None`` when the shard was
+        never checkpointed: ownership still converges, but its data is
+        lost).  Publishing the znode re-points every server image.
+        """
+        shard_id, blob, reply_to = msg.payload
+        if blob is None:
+            store = self.store_cls(self.schema, self.tree_config)
+        else:
+            store = self.store_cls.deserialize(
+                self.schema, blob, self.tree_config
+            )
+        service = self.cost.deserialize_time(len(store))
+
+        def ready() -> None:
+            self.shards[shard_id] = store
+            self._publish_shard(shard_id)
+            if self.checkpoints is not None and blob is not None:
+                # re-own the blob so a second failure still recovers
+                self.checkpoints.put(
+                    shard_id, blob, self.worker_id, self.clock.now
+                )
+            self.transport.send(
+                reply_to,
+                Message(
+                    "restore_done",
+                    (shard_id, self.worker_id, len(store)),
+                    sender=self,
+                ),
+            )
+
+        self._submit(service, ready)
 
     # -- zookeeper helpers -----------------------------------------------------
 

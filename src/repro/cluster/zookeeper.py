@@ -28,6 +28,8 @@ class ZNode:
     data: Any = None
     version: int = 0
     children: dict[str, "ZNode"] = field(default_factory=dict)
+    #: virtual-time expiry for ephemeral-style nodes (None = persistent)
+    expires: Optional[float] = None
 
 
 class Zookeeper:
@@ -48,6 +50,7 @@ class Zookeeper:
         self.writes = 0
         self.reads = 0
         self.notifications = 0
+        self.expirations = 0
 
     # -- path helpers -----------------------------------------------------
 
@@ -74,9 +77,38 @@ class Zookeeper:
         node = self._find(path, create=True)
         node.data = data
         node.version += 1
+        node.expires = None  # a plain write makes the node persistent
         self.writes += 1
         self._fire_watches(path, data)
         return node.version
+
+    def set_ephemeral(self, path: str, data: Any, ttl: float) -> int:
+        """Write an ephemeral-style znode that auto-deletes ``ttl``
+        seconds from now unless refreshed by another write.
+
+        Models the session-bound ephemeral znodes VOLAP workers use for
+        liveness: a crashed worker stops refreshing, the node expires,
+        and watchers see a delete event.
+        """
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        node = self._find(path, create=True)
+        node.data = data
+        node.version += 1
+        node.expires = self.clock.now + ttl
+        self.writes += 1
+        version = node.version
+        self._fire_watches(path, data)
+        self.clock.after(ttl, lambda: self._maybe_expire(path, version))
+        return version
+
+    def _maybe_expire(self, path: str, version: int) -> None:
+        node = self._find(path)
+        if node is None or node.version != version or node.expires is None:
+            return  # refreshed, rewritten, or already gone
+        if node.expires <= self.clock.now + 1e-12:
+            self.expirations += 1
+            self.delete(path)
 
     def get(self, path: str) -> Any:
         self.reads += 1

@@ -24,17 +24,18 @@ class EchoServer(Entity):
 
     def receive(self, msg):
         self.seen += 1
+        op_id = msg.payload[0]
         client = msg.payload[-1]
         if msg.kind == "client_insert":
-            reply = Message("insert_done", (self.seen, self.clock.now))
+            reply = Message("insert_done", (op_id, self.clock.now))
         else:
             from repro.core.aggregates import Aggregate
 
-            query = msg.payload[0]
+            query = msg.payload[1]
             reply = Message(
                 "query_done",
-                (self.seen, self.clock.now, Aggregate.of_value(1.0), 2,
-                 query.coverage),
+                (op_id, self.clock.now, Aggregate.of_value(1.0), 2,
+                 query.coverage, 1.0),
             )
         self.clock.after(self.delay, lambda: client.receive(reply))
 

@@ -102,3 +102,103 @@ class TestHyperplane:
         h = Hyperplane(0, 5)
         coords = np.array([[5, 0], [6, 0]])
         assert h.side_mask(coords).tolist() == [True, False]
+
+
+class TestStaleRouteInsert:
+    """Inserts racing a migration: routed to the old owner they either
+    ride the frozen-shard queue or get nacked, trigger an image refresh
+    and a retry -- never lost, never double-counted."""
+
+    def make_rig(self, schema, batch):
+        from repro.cluster.server import Server
+        from repro.cluster.simclock import SimClock
+        from repro.cluster.transport import Entity, LatencyModel, Message, Transport
+        from repro.cluster.worker import Worker
+        from repro.cluster.zookeeper import Zookeeper
+        from repro.core import TreeConfig
+
+        clock = SimClock()
+        transport = Transport(clock, LatencyModel(jitter=0.0))
+        zk = Zookeeper(clock)
+        cfg = TreeConfig(leaf_capacity=16, fanout=8)
+        workers = {
+            wid: Worker(wid, clock, transport, zk, schema, tree_config=cfg)
+            for wid in (0, 1)
+        }
+        store = HilbertPDCTree.from_batch(schema, batch, cfg)
+        workers[0].install_shard(1, store)
+        server = Server(0, clock, transport, zk, schema, workers, sync_period=1.0)
+        server.load_image()
+        return clock, transport, zk, workers, server
+
+    def run_inserts(self, clock, server, coords, n):
+        from repro.cluster.transport import Entity, Message
+
+        class Sink(Entity):
+            name = "sink"
+
+            def __init__(self):
+                self.received = []
+
+            def receive(self, msg):
+                self.received.append(msg)
+
+        sink = Sink()
+        for i in range(n):
+            server.receive(
+                Message("client_insert", (100 + i, coords, 1.0, sink))
+            )
+        clock.run_until(20.0)
+        return sink.received
+
+    def total(self, workers):
+        return sum(w.total_items() for w in workers.values())
+
+    def test_insert_during_inflight_migration(self, schema):
+        """An insert arriving while the shard is frozen for migration is
+        queued at the source and carried over exactly once."""
+        from repro.cluster.transport import Message
+
+        batch = random_batch(schema, 300, seed=6)
+        clock, transport, zk, workers, server = self.make_rig(schema, batch)
+
+        class Quiet:
+            name = "quiet"
+
+            def receive(self, msg):
+                pass
+
+        # freeze shard 1 for migration, then insert before it completes
+        workers[0].receive(Message("migrate_shard", (1, workers[1], Quiet())))
+        got = self.run_inserts(clock, server, batch.coords[0], 3)
+        done = [m for m in got if m.kind == "insert_done"]
+        assert len(done) == 3
+        assert 1 in workers[1].shards and 1 not in workers[0].shards
+        assert self.total(workers) == len(batch) + 3
+
+    def test_stale_image_nack_refresh_retry(self, schema):
+        """The server's image still points at the old owner after a
+        migration: the insert nacks, the server refreshes its image from
+        Zookeeper and retries against the new owner -- exactly once."""
+        batch = random_batch(schema, 300, seed=7)
+        clock, transport, zk, workers, server = self.make_rig(schema, batch)
+        # migrate shard 1 off worker 0 entirely (zk now names worker 1)
+        from repro.cluster.transport import Message
+
+        class Quiet:
+            name = "quiet"
+
+            def receive(self, msg):
+                pass
+
+        workers[0].receive(Message("migrate_shard", (1, workers[1], Quiet())))
+        clock.run_until(5.0)
+        assert zk.get("/shards/1")[2] == 1
+        # poison the server's local image back to the stale owner
+        server.image.update_worker(1, 0)
+        got = self.run_inserts(clock, server, batch.coords[0], 2)
+        done = [m for m in got if m.kind == "insert_done"]
+        assert len(done) == 2
+        assert server.insert_retries >= 2  # the nack path actually fired
+        assert len(workers[1].shards[1]) == len(batch) + 2
+        assert self.total(workers) == len(batch) + 2

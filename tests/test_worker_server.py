@@ -61,7 +61,7 @@ class TestWorkerInsert:
         install(w, schema, batch)
         sink = Sink()
         coords = batch.coords[0]
-        w.receive(Message("insert", (1, coords, 2.0, 99, sink)))
+        w.receive(Message("insert", (1, coords, 2.0, 99, 99, sink)))
         clock.run()
         assert w.total_items() == len(batch) + 1
         assert sink.received[0].kind == "insert_ack"
@@ -71,7 +71,7 @@ class TestWorkerInsert:
         clock, transport, zk = rig
         w = make_worker(rig, schema)
         sink = Sink()
-        w.receive(Message("insert", (42, batch.coords[0], 1.0, 5, sink)))
+        w.receive(Message("insert", (42, batch.coords[0], 1.0, 5, 5, sink)))
         clock.run()
         assert sink.received[0].kind == "insert_nack"
 
@@ -82,7 +82,7 @@ class TestWorkerInsert:
         w.frozen.add(1)
         w.queues[1] = HilbertPDCTree(schema, w.tree_config)
         sink = Sink()
-        w.receive(Message("insert", (1, batch.coords[0], 1.0, 5, sink)))
+        w.receive(Message("insert", (1, batch.coords[0], 1.0, 5, 5, sink)))
         clock.run()
         assert len(w.queues[1]) == 1
         assert len(w.shards[1]) == len(batch)  # shard untouched
@@ -99,10 +99,11 @@ class TestWorkerQuery:
         clock.run()
         msg = sink.received[0]
         assert msg.kind == "query_result"
-        token, agg_t, searched, wid = msg.payload
+        token, agg_t, searched, wid, missing = msg.payload
         assert token == 7
         assert agg_t[0] == len(batch)
         assert searched == 1
+        assert missing == 0
 
     def test_query_includes_queue(self, rig, schema, batch):
         clock, transport, zk = rig
@@ -132,7 +133,7 @@ class TestWorkerQuery:
         box = full_query(schema).box
         w.receive(Message("query", (3, [1], box.to_tuple(), sink)))
         clock.run()
-        token, agg_t, searched, _ = sink.received[0].payload
+        token, agg_t, searched, _, _missing = sink.received[0].payload
         assert agg_t[0] == len(batch)
         assert searched == 2
 
@@ -173,7 +174,7 @@ class TestWorkerSplit:
         coords = batch.coords[0]
         expected = low if coords[plane.dim] <= plane.value else high
         before = len(w.shards[expected])
-        w.receive(Message("insert", (1, coords, 1.0, 5, sink)))
+        w.receive(Message("insert", (1, coords, 1.0, 5, 5, sink)))
         clock.run()
         assert len(w.shards[expected]) == before + 1
 
@@ -201,7 +202,7 @@ class TestWorkerMigration:
         sink = Sink()
         src.receive(Message("migrate_shard", (1, dst, sink)))
         # while frozen, an insert arrives at the source
-        src.receive(Message("insert", (1, batch.coords[0], 9.0, 4, sink)))
+        src.receive(Message("insert", (1, batch.coords[0], 9.0, 4, 4, sink)))
         clock.run()
         assert len(dst.shards[1]) == len(batch) + 1
 
@@ -230,7 +231,7 @@ class TestServer:
         server.load_image()
         sink = Sink()
         server.receive(
-            Message("client_insert", (batch.coords[0], 1.0, sink))
+            Message("client_insert", (1, batch.coords[0], 1.0, sink))
         )
         clock.run_until(1.0 - 1e-9)  # avoid periodic sync tail
         assert sink.received[0].kind == "insert_done"
@@ -244,12 +245,12 @@ class TestServer:
         server.load_image()
         sink = Sink()
         server.receive(
-            Message("client_query", (full_query(schema), sink))
+            Message("client_query", (1, full_query(schema), sink))
         )
         clock.run_until(0.9)
         msg = sink.received[0]
         assert msg.kind == "query_done"
-        _tok, _t0, agg, searched, _cov = msg.payload
+        _tok, _t0, agg, searched, _cov, achieved = msg.payload
         assert agg.count == len(batch)
         assert searched >= 1
 
@@ -262,7 +263,7 @@ class TestServer:
         # force an expansion: a point outside the current shard box
         outside = schema.leaf_limits.copy()
         sink = Sink()
-        server.receive(Message("client_insert", (outside, 1.0, sink)))
+        server.receive(Message("client_insert", (2, outside, 1.0, sink)))
         clock.run_until(0.5)
         assert server.image.dirty
         clock.run_until(1.5)  # past the sync tick

@@ -98,6 +98,51 @@ class TestZookeeper:
         assert out == [3]
 
 
+class TestEphemeralZnodes:
+    def test_expires_after_ttl(self):
+        clock = SimClock()
+        zk = Zookeeper(clock)
+        zk.set_ephemeral("/heartbeats/0", 0.0, ttl=0.5)
+        assert zk.get("/heartbeats/0") == 0.0
+        clock.run_until(0.4)
+        assert zk.exists("/heartbeats/0")
+        clock.run_until(0.6)
+        assert not zk.exists("/heartbeats/0")
+        assert zk.expirations == 1
+
+    def test_refresh_keeps_alive(self):
+        """Re-publishing before the TTL elapses cancels the old expiry
+        (session keep-alive): only the final deadline counts."""
+        clock = SimClock()
+        zk = Zookeeper(clock)
+        zk.set_ephemeral("/heartbeats/1", 0.0, ttl=0.5)
+        for t in (0.3, 0.6, 0.9):
+            clock.at(t, lambda t=t: zk.set_ephemeral("/heartbeats/1", t, ttl=0.5))
+        clock.run_until(1.3)
+        assert zk.exists("/heartbeats/1")  # last beat at 0.9 covers 1.4
+        clock.run_until(1.5)
+        assert not zk.exists("/heartbeats/1")
+        assert zk.expirations == 1
+
+    def test_plain_set_makes_persistent(self):
+        clock = SimClock()
+        zk = Zookeeper(clock)
+        zk.set_ephemeral("/node", "x", ttl=0.2)
+        zk.set("/node", "y")  # promote to a persistent znode
+        clock.run_until(1.0)
+        assert zk.get("/node") == "y"
+        assert zk.expirations == 0
+
+    def test_expiry_notifies_watchers(self):
+        clock = SimClock()
+        zk = Zookeeper(clock, notify_latency=0.0)
+        events = []
+        zk.watch("/heartbeats/", lambda p, d: events.append((p, d)))
+        zk.set_ephemeral("/heartbeats/2", 1.0, ttl=0.1)
+        clock.run_until(0.5)
+        assert events == [("/heartbeats/2", 1.0), ("/heartbeats/2", None)]
+
+
 class TestTransport:
     def test_delivery_with_latency(self):
         clock = SimClock()
