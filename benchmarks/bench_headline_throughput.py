@@ -25,6 +25,7 @@ def test_headline_throughput(benchmark):
                 ("total items", res.total_items),
                 ("bulk ingest items/s", round(res.bulk_rate)),
                 ("point inserts/s", round(res.point_insert_rate)),
+                ("batched inserts/s", round(res.batched_insert_rate)),
                 ("mixed inserts/s", round(res.mixed_insert_rate)),
                 ("mixed queries/s", round(res.mixed_query_rate)),
             ],
@@ -34,6 +35,10 @@ def test_headline_throughput(benchmark):
     # Bulk ingestion several times faster than point insertion
     # (paper: >400k/s vs ~50k/s, an ~8x gap; require >= 3x).
     assert res.bulk_rate > 3 * res.point_insert_rate
+    # Online wire batching sits between the two: well above the
+    # one-message-per-insert path, below offline bulk packing.
+    assert res.batched_insert_rate > res.point_insert_rate
+    assert res.batched_insert_rate < res.bulk_rate
     # Inserts outpace aggregate queries in the mixed stream (paper: ~50k
     # inserts + ~20k queries at a 70/30-ish mix).
     assert res.mixed_insert_rate > res.mixed_query_rate

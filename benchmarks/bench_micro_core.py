@@ -6,6 +6,11 @@ for the hot paths: Hilbert key computation, point insertion, bulk load,
 and queries at two coverage extremes.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -15,6 +20,9 @@ from repro.olap.query import full_query
 from repro.workloads import QueryGenerator, TPCDSGenerator, tpcds_schema
 
 SCHEMA = tpcds_schema()
+
+#: BENCH_QUICK=1 shrinks the ingest comparison for CI smoke runs
+QUICK = bool(os.environ.get("BENCH_QUICK"))
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +69,73 @@ def test_point_insert_pdc(benchmark, batch):
         i[0] += 1
 
     benchmark(one_insert)
+
+
+def test_hilbert_keys_vectorized(benchmark, batch):
+    """Whole-batch key kernel (the vectorized path behind insert_batch)."""
+    mapper = HilbertKeyMapper(SCHEMA)
+    benchmark.pedantic(
+        lambda: mapper.keys(batch.coords), rounds=3, iterations=1
+    )
+
+
+def test_batch_insert_hilbert_pdc(benchmark, batch):
+    """Amortized per-record cost of ordered-run batch insertion."""
+    tree = HilbertPDCTree(SCHEMA)
+    chunk = 1024
+    i = [0]
+
+    def one_chunk():
+        lo = (i[0] * chunk) % len(batch)
+        tree.insert_batch(batch.slice(lo, lo + chunk))
+        i[0] += 1
+
+    benchmark(one_chunk)
+
+
+def test_batched_vs_single_ingest():
+    """Acceptance gate: batched ingest >= 5x a single-record loop at
+    100k records on the Hilbert PDC tree; the measured rates land in
+    ``BENCH_micro.json`` at the repo root.
+
+    ``BENCH_QUICK=1`` shrinks the run for CI smoke (the speedup floor
+    drops with it -- small trees amortize less).
+    """
+    n = 20_000 if QUICK else 100_000
+    chunk = 10_000
+    floor = 3.0 if QUICK else 5.0
+    data = TPCDSGenerator(SCHEMA, seed=3).batch(n)
+
+    single = HilbertPDCTree(SCHEMA)
+    t0 = time.perf_counter()
+    for coords, m in data.iter_rows():
+        single.insert(coords, m)
+    single_s = time.perf_counter() - t0
+
+    batched = HilbertPDCTree(SCHEMA)
+    t0 = time.perf_counter()
+    for lo in range(0, n, chunk):
+        batched.insert_batch(data.slice(lo, lo + chunk))
+    batched_s = time.perf_counter() - t0
+
+    assert len(single) == len(batched) == n
+    batched.validate()
+    speedup = single_s / batched_s
+    result = {
+        "records": n,
+        "chunk": chunk,
+        "quick": QUICK,
+        "single_insert_s": round(single_s, 3),
+        "batched_insert_s": round(batched_s, 3),
+        "single_rate_per_s": round(n / single_s),
+        "batched_rate_per_s": round(n / batched_s),
+        "speedup": round(speedup, 2),
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_micro.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print()
+    print(f"batched vs single ingest: {json.dumps(result)}")
+    assert speedup >= floor, result
 
 
 def test_bulk_load_10k(benchmark, batch):

@@ -63,14 +63,19 @@ def _drive_stream(
     ops: list[Operation],
     sessions: int = 4,
     concurrency: int = 24,
+    batch_size: int = 1,
 ) -> tuple[float, float]:
     """Run ``ops`` split across sessions on alternating servers.
 
-    Returns (virtual start, virtual end) of the measurement window."""
+    ``batch_size > 1`` turns on client-side wire batching (inserts
+    coalesce into ``client_insert_batch`` messages).  Returns (virtual
+    start, virtual end) of the measurement window."""
     start = cluster.clock.now
     chunks = [ops[i::sessions] for i in range(sessions)]
     for i, chunk in enumerate(chunks):
-        sess = cluster.session(i, concurrency=concurrency)
+        sess = cluster.session(
+            i, concurrency=concurrency, batch_size=batch_size
+        )
         sess.run_stream(chunk)
     cluster.run_until_clients_done()
     return start, cluster.clock.now
@@ -302,6 +307,8 @@ class HeadlineResult:
     total_items: int
     bulk_rate: float  # items/s, virtual
     point_insert_rate: float
+    #: same online-insert stream with client-side wire batching on
+    batched_insert_rate: float
     mixed_insert_rate: float
     mixed_query_rate: float
 
@@ -334,6 +341,17 @@ def run_headline(
     recs = cluster.stats.select(kind="insert", since=t0)
     point_rate = cluster.stats.throughput(recs)
 
+    ext2 = gen.batch(point_inserts)
+    ops = [
+        Operation("insert", coords=ext2.coords[i], measure=1.0)
+        for i in range(point_inserts)
+    ]
+    t0, t1 = _drive_stream(
+        cluster, ops, sessions=8, concurrency=96, batch_size=32
+    )
+    recs = cluster.stats.select(kind="insert", since=t0)
+    batched_rate = cluster.stats.throughput(recs)
+
     qg = QueryGenerator(schema, batch, seed=seed + 1)
     bins = qg.generate_bins(per_bin=15)
     sg = StreamGenerator(gen, bins, insert_fraction=0.7, seed=seed + 2)
@@ -347,6 +365,7 @@ def run_headline(
         total_items=cluster.total_items(),
         bulk_rate=bulk_rate,
         point_insert_rate=point_rate,
+        batched_insert_rate=batched_rate,
         mixed_insert_rate=len(ins) / span,
         mixed_query_rate=len(qs) / span,
     )

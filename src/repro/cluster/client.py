@@ -14,6 +14,13 @@ a failed :class:`OpRecord` (``ok=False``) when attempts are exhausted
 or the server reports ``insert_failed`` -- the concurrency slot is
 always released.  Workers deduplicate ``op_id``s, so retransmitted or
 fault-duplicated inserts apply exactly once.
+
+With ``batch_size > 1`` the session coalesces pending inserts into one
+``client_insert_batch`` message (flushed when the batch fills or after
+``batch_linger`` seconds, whichever is first).  Batching changes only
+the wire framing: every insert keeps its own ``op_id``, timer, and
+:class:`OpRecord`, and retransmits always go out as singleton
+``client_insert`` messages, so the retry/dedup machinery is untouched.
 """
 
 from __future__ import annotations
@@ -51,9 +58,13 @@ class ClientSession(Entity):
         concurrency: int = 8,
         retry: Optional[RetryPolicy] = None,
         seed: Optional[int] = None,
+        batch_size: int = 1,
+        batch_linger: float = 2e-3,
     ):
         if concurrency < 1:
             raise ValueError("concurrency must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.client_id = client_id
         self.name = f"client-{client_id}"
         self.transport = transport
@@ -69,6 +80,11 @@ class ClientSession(Entity):
         self._outstanding = 0
         self._pending: dict[int, _PendingOp] = {}
         self._op_seq = 0
+        self.batch_size = batch_size
+        self.batch_linger = batch_linger
+        self._buffer: list[_PendingOp] = []
+        self._flush_gen = 0
+        self.batches_sent = 0
         self.completed = 0
         self.retries = 0
         self.timeouts = 0
@@ -95,11 +111,49 @@ class ClientSession(Entity):
         op_id = (self.client_id << 24) | self._op_seq
         pending = _PendingOp(op, op_id, self.transport.clock.now)
         self._pending[op_id] = pending
+        if op.is_insert and self.batch_size > 1:
+            self._buffer.append(pending)
+            self._arm_timer(op_id, self.retry.timeout)
+            if len(self._buffer) >= self.batch_size:
+                self._flush()
+            elif len(self._buffer) == 1:
+                gen = self._flush_gen
+
+                def linger_fire() -> None:
+                    if self._flush_gen == gen and self._buffer:
+                        self._flush()
+
+                self.transport.clock.after(self.batch_linger, linger_fire)
+            return
         self._send(pending)
         self._arm_timer(op_id, self.retry.timeout)
 
+    def _flush(self) -> None:
+        """Ship the buffered inserts as one ``client_insert_batch``."""
+        if not self._buffer:
+            return
+        self._flush_gen += 1
+        rows = [(p.op_id, p.op.coords, p.op.measure) for p in self._buffer]
+        self._buffer.clear()
+        self.batches_sent += 1
+        self.transport.send(
+            self.server,
+            Message(
+                "client_insert_batch",
+                (rows, self),
+                size=72 * len(rows),
+                sender=self,
+            ),
+        )
+
     def _send(self, pending: _PendingOp) -> None:
         op = pending.op
+        for i, p in enumerate(self._buffer):
+            # a retransmit raced the linger flush: this op now travels
+            # alone, so it must not also go out with the batch
+            if p is pending:
+                del self._buffer[i]
+                break
         if op.is_insert:
             self.transport.send(
                 self.server,
@@ -166,6 +220,20 @@ class ClientSession(Entity):
 
     def receive(self, msg: Message) -> None:
         now = self.transport.clock.now
+        if msg.kind == "insert_done_batch":
+            for op_id in msg.payload[0]:
+                pending = self._pending.pop(op_id, None)
+                if pending is None:
+                    continue  # duplicated or post-timeout reply
+                self._complete(
+                    OpRecord(
+                        "insert",
+                        pending.submit_time,
+                        now,
+                        attempts=pending.attempts,
+                    )
+                )
+            return
         if msg.kind == "insert_done":
             op_id = msg.payload[0]
             pending = self._pending.pop(op_id, None)

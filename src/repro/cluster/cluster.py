@@ -57,6 +57,12 @@ class ClusterConfig:
     #: "best for most applications")
     store_cls: type = HilbertPDCTree
     client_concurrency: int = 16
+    #: client-side wire batching: coalesce up to this many inserts into
+    #: one ``client_insert_batch`` message; 1 keeps the classic
+    #: one-message-per-insert path byte-identical
+    client_batch_size: int = 1
+    #: how long a partially filled client batch waits before flushing
+    client_batch_linger: float = 2e-3
     seed: int = 0
     #: request timeouts / retries / backoff (clients and servers)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -169,7 +175,7 @@ class VOLAPCluster:
         worker_ids = sorted(self.workers)
         total_shards = max(1, shards_per_worker * len(worker_ids))
         if n > 0:
-            keys = [self._mapper.key(row) for row in batch.coords]
+            keys = self._mapper.keys(batch.coords)
             order = np.array(sorted(range(n), key=keys.__getitem__))
             bounds = np.linspace(0, n, total_shards + 1).astype(int)
         else:
@@ -195,7 +201,11 @@ class VOLAPCluster:
     # -- client sessions --------------------------------------------------------
 
     def session(
-        self, server_index: int = 0, concurrency: Optional[int] = None
+        self,
+        server_index: int = 0,
+        concurrency: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        batch_linger: Optional[float] = None,
     ) -> ClientSession:
         c = ClientSession(
             len(self._clients),
@@ -209,6 +219,16 @@ class VOLAPCluster:
             ),
             retry=self.config.retry,
             seed=self.config.seed * 7919 + len(self._clients),
+            batch_size=(
+                batch_size
+                if batch_size is not None
+                else self.config.client_batch_size
+            ),
+            batch_linger=(
+                batch_linger
+                if batch_linger is not None
+                else self.config.client_batch_linger
+            ),
         )
         self._clients.append(c)
         return c

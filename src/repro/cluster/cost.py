@@ -31,6 +31,10 @@ class CostModel:
     # ingests several hundred k items/s, ~an order of magnitude above
     # point insertion (the paper's 400k/s vs 50k/s gap)
     bulk_item: float = 15e-6
+    #: per item in a batched *online* insert: pricier than offline bulk
+    #: packing (the tree still does ordered-run descents and locked
+    #: splices) but far below a full per-item dispatch
+    batch_item: float = 30e-6
     split_item: float = 4e-6  # per item when splitting a shard
     serialize_item: float = 1e-6
     deserialize_item: float = 2e-6
@@ -50,6 +54,16 @@ class CostModel:
 
     def bulk_time(self, items: int) -> float:
         return self.insert_base + self.bulk_item * items
+
+    def insert_batch_time(self, items: int, stats: OpStats) -> float:
+        """Batched online insert: one base dispatch for the whole batch,
+        a per-item floor, plus the run-amortised structural work the
+        tree actually measured."""
+        return (
+            self.insert_base
+            + self.batch_item * items
+            + self.work_unit * stats.work
+        )
 
     def split_time(self, items: int) -> float:
         return self.insert_base + self.split_item * items

@@ -149,6 +149,67 @@ class Server(Entity):
         self._route_insert(token)
         self._arm_insert_timer(token, self.retry.insert_timeout)
 
+    def _on_client_insert_batch(self, msg: Message) -> None:
+        """Batched ingest: one pending insert (with its own token and
+        timer) per row, but routing and forwarding are grouped -- rows
+        bound for the same worker travel in one ``insert_batch``
+        message.  Retries of individual rows fall back to the singleton
+        path, so batching never weakens the delivery guarantees."""
+        rows, reply_to = msg.payload
+        now = self.clock.now
+        nodes = 0
+        by_worker: dict[int, list[tuple]] = {}
+        for op_id, coords, measure in rows:
+            token = self._next_token()
+            self._pending_inserts[token] = _PendingInsert(
+                token, op_id, reply_to, now, coords, measure
+            )
+            info = self.image.route_insert(coords)
+            nodes += self.image.nodes_visited_last
+            self.inserts_routed += 1
+            by_worker.setdefault(info.worker_id, []).append(
+                (info.shard_id, coords, measure, token, op_id)
+            )
+            self._arm_insert_timer(token, self.retry.insert_timeout)
+        service = self.cost.route_time(nodes)
+
+        def forward() -> None:
+            for worker_id, entries in by_worker.items():
+                self.transport.send(
+                    self.workers[worker_id],
+                    Message(
+                        "insert_batch",
+                        (entries, self),
+                        size=72 * len(entries),
+                        sender=self,
+                    ),
+                )
+
+        self.pool.submit(service, forward)
+
+    def _on_insert_batch_ack(self, msg: Message) -> None:
+        """Per-op acks from a batched apply: complete the acked tokens
+        (one ``insert_done_batch`` per client), re-route the nacked."""
+        tokens, _worker_id, nacked = msg.payload
+        done: dict[Entity, list[int]] = {}
+        for token in tokens:
+            pending = self._pending_inserts.pop(token, None)
+            if pending is None:
+                continue
+            done.setdefault(pending.reply_to, []).append(pending.op_id)
+        for reply_to, op_ids in done.items():
+            self.transport.send(
+                reply_to,
+                Message(
+                    "insert_done_batch",
+                    (op_ids,),
+                    size=16 * len(op_ids),
+                    sender=self,
+                ),
+            )
+        for token, _shard_id in nacked:
+            self._retry_insert(token, refresh=True)
+
     def _route_insert(self, token: int) -> None:
         pending = self._pending_inserts.get(token)
         if pending is None:

@@ -118,7 +118,12 @@ class ClusterStats:
 
     def latency_stats(self, records: list[OpRecord]) -> dict[str, float]:
         if not records:
-            return {"mean": float("nan"), "p50": float("nan"), "p95": float("nan")}
+            return {
+                "mean": float("nan"),
+                "p50": float("nan"),
+                "p95": float("nan"),
+                "max": float("nan"),
+            }
         lat = np.array([r.latency for r in records])
         return {
             "mean": float(lat.mean()),

@@ -241,6 +241,59 @@ class Worker(Entity):
             ),
         )
 
+    def _on_insert_batch(self, msg: Message) -> None:
+        """Apply a batched online insert (paper's high-velocity path).
+
+        Each row keeps its own idempotency ``op_id``: rows already seen
+        are re-acked without applying (a retransmitted or duplicated
+        batch is harmless), rows whose shard moved away are nacked
+        individually, and the rest are grouped per resolved shard and
+        applied through :meth:`ShardStore.insert_batch` -- so the tree
+        sees one Hilbert-sorted run sequence, not ``n`` point inserts.
+        """
+        entries, reply_to = msg.payload
+        acked: list[int] = []
+        nacked: list[tuple[int, int]] = []
+        groups: dict[int, list[tuple[np.ndarray, float]]] = {}
+        for shard_id, coords, measure, token, op_id in entries:
+            if op_id and op_id in self._seen_ops:
+                self.dedup_hits += 1
+                acked.append(token)
+                continue
+            sid = self._resolve_insert(shard_id, coords)
+            if sid not in self.frozen and sid not in self.shards:
+                nacked.append((token, shard_id))
+                continue
+            groups.setdefault(sid, []).append((coords, measure))
+            if op_id:
+                self._seen_ops.add(op_id)
+            acked.append(token)
+        applied = 0
+        stats = OpStats()
+        for sid, rows in groups.items():
+            batch = RecordBatch(
+                np.array([c for c, _ in rows], dtype=np.int64),
+                np.array([m for _, m in rows], dtype=np.float64),
+            )
+            target = (
+                self.queues[sid] if sid in self.frozen else self.shards[sid]
+            )
+            stats.merge(target.insert_batch(batch))
+            applied += len(rows)
+        self.inserts_done += applied
+        service = self.cost.insert_batch_time(applied, stats)
+        self._submit(
+            service,
+            lambda: self.transport.send(
+                reply_to,
+                Message(
+                    "insert_batch_ack",
+                    (acked, self.worker_id, nacked),
+                    sender=self,
+                ),
+            ),
+        )
+
     def _on_bulk_insert(self, msg: Message) -> None:
         shard_id, batch, token, reply_to = msg.payload
         if token and token in self._seen_ops:

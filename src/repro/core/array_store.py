@@ -60,6 +60,10 @@ class ArrayStore(ShardStore):
         self._measures[self._size : self._size + n] = batch.measures
         self._size += n
 
+    def insert_batch(self, batch: RecordBatch) -> OpStats:
+        self.extend(batch)
+        return OpStats(nodes_visited=1)
+
     def query(self, box: Box) -> tuple[Aggregate, OpStats]:
         stats = OpStats(nodes_visited=1, leaves_visited=1, items_scanned=self._size)
         if self._size == 0:

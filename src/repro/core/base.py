@@ -70,6 +70,17 @@ class ShardStore(ABC):
     def insert(self, coords: np.ndarray, measure: float) -> OpStats:
         """Insert one item; returns the work counters for the operation."""
 
+    def insert_batch(self, batch: RecordBatch) -> OpStats:
+        """Insert a whole batch; returns the merged work counters.
+
+        The default is a per-record loop; stores with a cheaper bulk
+        path (ordered-run tree inserts, array appends) override it.
+        """
+        stats = OpStats()
+        for coords, measure in batch.iter_rows():
+            stats.merge(self.insert(coords, measure))
+        return stats
+
     @abstractmethod
     def query(self, box: Box) -> tuple[Aggregate, OpStats]:
         """Aggregate every item inside ``box``."""

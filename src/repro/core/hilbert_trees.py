@@ -48,6 +48,9 @@ class HilbertTree(InsertEngineTree):
     def _hilbert_key(self, coords: np.ndarray) -> int:
         return self.mapper.key(coords)
 
+    def _hilbert_keys(self, coords: np.ndarray) -> list[int]:
+        return self.mapper.keys(coords)
+
     # -- child choice: purely by Hilbert order -----------------------------
 
     def _choose_child(
@@ -86,8 +89,7 @@ class HilbertTree(InsertEngineTree):
         out.lhv = max(out.hkeys)
         out.size = k
         out.agg = Aggregate.of_array(out.leaf_measures())
-        for row in out.leaf_coords():
-            self.policy.expand_point(out.key, row)
+        self.policy.expand_points(out.key, out.leaf_coords())
         return out
 
     def _split_dir(self, node: Node) -> tuple[Node, Node]:
@@ -174,7 +176,7 @@ class HilbertTree(InsertEngineTree):
         n = len(batch)
         if n == 0:
             return tree
-        keys = [tree.mapper.key(row) for row in batch.coords]
+        keys = tree.mapper.keys(batch.coords)
         order = sorted(range(n), key=keys.__getitem__)
         cap = tree.config.leaf_capacity
         fill = max(2, (cap * 3) // 4)
@@ -189,8 +191,7 @@ class HilbertTree(InsertEngineTree):
             leaf.lhv = leaf.hkeys[-1]
             leaf.size = k
             leaf.agg = Aggregate.of_array(leaf.leaf_measures())
-            for row in leaf.leaf_coords():
-                tree.policy.expand_point(leaf.key, row)
+            tree.policy.expand_points(leaf.key, leaf.leaf_coords())
             leaves.append(leaf)
         level = leaves
         dir_fill = max(2, (tree.config.fanout * 3) // 4)

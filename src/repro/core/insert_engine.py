@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from .aggregates import Aggregate
 from .base import BaseTree
 from .config import OpStats
 from .node import Node
@@ -52,6 +53,10 @@ class InsertEngineTree(BaseTree):
     def _hilbert_key(self, coords: np.ndarray) -> Optional[int]:
         """Hilbert key for an item; None in geometric trees."""
         return None
+
+    def _hilbert_keys(self, coords: np.ndarray) -> list[Optional[int]]:
+        """Hilbert keys for an (n, d) array; Hilbert trees vectorize."""
+        return [self._hilbert_key(row) for row in coords]
 
     # -- engine -----------------------------------------------------------
 
@@ -97,44 +102,233 @@ class InsertEngineTree(BaseTree):
 
             node.append_item(coords, measure, hkey)
             self._count += 1
-
-            # Bottom-up split propagation through the held (locked) suffix.
-            current = node
-            while (
-                current.size > self.config.leaf_capacity
-                if current.is_leaf
-                else len(current.children) > self.config.fanout
-            ):
-                left, right = self._split_node(current)
-                stats.splits += 1
-                if held:
-                    parent, idx = held.pop()
-                    parent.children[idx] = left
-                    parent.children.insert(idx + 1, right)
-                    current.release()
-                    current = parent
-                else:
-                    # The root itself split: grow the tree by one level.
-                    new_root = self._new_dir()
-                    new_root.children = [left, right]
-                    new_root.key = self.policy.union_of(
-                        [left.key, right.key], self.num_dims
-                    )
-                    new_root.agg = left.agg.merged(right.agg)
-                    if left.lhv is not None:
-                        new_root.lhv = max(left.lhv, right.lhv)
-                    current.release()
-                    current = None
-                    self.root = new_root
-                    break
-            if current is not None:
-                current.release()
+            self._propagate_splits(node, held, stats)
         finally:
             for anc, _ in held:
                 anc.release()
             if tree_locked:
                 self._tree_lock.release()
         return stats
+
+    def _propagate_splits(
+        self, node: Node, held: list[tuple[Node, int]], stats: OpStats
+    ) -> None:
+        """Bottom-up split propagation through the held (locked) suffix.
+
+        Releases ``node`` and every ancestor it pops off ``held``; the
+        caller still owns (and must release) whatever remains in
+        ``held``.
+        """
+        current = node
+        while (
+            current.size > self.config.leaf_capacity
+            if current.is_leaf
+            else len(current.children) > self.config.fanout
+        ):
+            left, right = self._split_node(current)
+            stats.splits += 1
+            if held:
+                parent, idx = held.pop()
+                parent.children[idx] = left
+                parent.children.insert(idx + 1, right)
+                current.release()
+                current = parent
+            else:
+                # The root itself split: grow the tree by one level.
+                new_root = self._new_dir()
+                new_root.children = [left, right]
+                new_root.key = self.policy.union_of(
+                    [left.key, right.key], self.num_dims
+                )
+                new_root.agg = left.agg.merged(right.agg)
+                if left.lhv is not None:
+                    new_root.lhv = max(left.lhv, right.lhv)
+                current.release()
+                self.root = new_root
+                return
+        current.release()
+
+    # -- batched insert ----------------------------------------------------
+
+    def insert_batch(self, batch) -> OpStats:
+        """Insert a whole batch as Hilbert-sorted ordered runs.
+
+        Keys for the full batch come from the vectorized kernel; the
+        sorted records are then inserted run by run, where a *run* is a
+        maximal prefix of the remaining records that provably routes to
+        the leaf found by a single descent -- amortizing descents, key
+        expansions and lock traffic over the run.  Geometric trees have
+        no key order to exploit and fall back to per-record inserts.
+        """
+        stats = OpStats()
+        n = len(batch)
+        if n == 0:
+            return stats
+        keys = self._hilbert_keys(batch.coords)
+        if keys[0] is None:
+            for coords, measure in batch.iter_rows():
+                stats.merge(self.insert(coords, measure))
+            return stats
+        order = sorted(range(n), key=keys.__getitem__)
+        coords = np.asarray(batch.coords, dtype=np.int64)
+        measures = np.asarray(batch.measures, dtype=np.float64)
+        pos = 0
+        while pos < n:
+            pos = self._insert_run(coords, measures, keys, order, pos, stats)
+        return stats
+
+    def _insert_run(
+        self,
+        coords: np.ndarray,
+        measures: np.ndarray,
+        keys: list[int],
+        order: list[int],
+        pos: int,
+        stats: OpStats,
+    ) -> int:
+        """Insert one maximal ordered run; returns the next position.
+
+        Descends once for ``order[pos]`` holding the *full* path locked
+        (locks are still taken parent-before-child, so this composes
+        with hand-over-hand queries and per-record inserts), then
+        accepts each following sorted key ``k`` while it provably
+        re-routes to the same leaf:
+
+        * the descent fell through to the last child at every level
+          (earlier siblings all have LHV < the run's first key <= k, and
+          a last child absorbs any larger key), or
+        * ``k`` <= the leaf's pre-run LHV ``bound`` (then at every level
+          the chosen child was a first-match whose LHV >= ``bound`` and
+          it stays the first match for ``k``).
+
+        When a run overflows its leaf, the leaf's items and the whole
+        run are merged, re-sorted and repacked into several
+        Hilbert-ordered leaves spliced in place of the old one (dir
+        nodes overfull from the splice repack the same way, bottom-up)
+        -- one linear packing pass instead of a cascade of split scans.
+        Key/aggregate/LHV updates commit per-run while the whole path
+        is locked, so queries never observe a torn path.
+        """
+        first = order[pos]
+        hkey0 = keys[first]
+        if self._tree_lock is not None:
+            self._tree_lock.acquire()
+        held: list[tuple[Node, int]] = []
+        node = self.root
+        node.acquire()
+        try:
+            rightmost = True
+            while not node.is_leaf:
+                stats.nodes_visited += 1
+                idx = self._choose_child(node, coords[first], hkey0)
+                rightmost = rightmost and idx == len(node.children) - 1
+                child = node.children[idx]
+                child.acquire()
+                held.append((node, idx))
+                node = child
+            stats.nodes_visited += 1
+            bound = node.lhv  # pre-run LHV; None only for an empty root leaf
+            n = len(order)
+            end = pos + 1
+            if rightmost:
+                end = n
+            else:
+                while end < n:
+                    k = keys[order[end]]
+                    if bound is None or k > bound:
+                        break
+                    end += 1
+            run = order[pos:end]
+            run_max = keys[run[-1]]
+            run_coords = coords[run]
+            run_measures = measures[run]
+            run_agg = Aggregate.of_array(run_measures)
+            for path_node, _ in held:
+                if self.policy.expand_points(path_node.key, run_coords):
+                    stats.key_expansions += 1
+                path_node.agg.merge(run_agg)
+                if path_node.lhv is None or run_max > path_node.lhv:
+                    path_node.lhv = run_max
+            self._count += len(run)
+            if node.size + len(run) <= self.config.leaf_capacity:
+                for j, i in enumerate(run):
+                    node.append_item(run_coords[j], run_measures[j], keys[i])
+                if self.policy.expand_points(node.key, run_coords):
+                    stats.key_expansions += 1
+                node.agg.merge(run_agg)
+                self._propagate_splits(node, held, stats)
+            else:
+                self._repack_overflow(node, run_coords, run_measures,
+                                      [keys[i] for i in run], held, stats)
+            return end
+        finally:
+            for anc, _ in held:
+                anc.release()
+            if self._tree_lock is not None:
+                self._tree_lock.release()
+
+    def _repack_overflow(
+        self,
+        leaf: Node,
+        run_coords: np.ndarray,
+        run_measures: np.ndarray,
+        run_keys: list[int],
+        held: list[tuple[Node, int]],
+        stats: OpStats,
+    ) -> None:
+        """Replace an overflowing leaf by several packed leaves.
+
+        Merges the leaf's items with the run, re-sorts by Hilbert key,
+        packs leaves at 3/4 fill (the bulk-load rule), and splices them
+        into the parent.  Any directory node the splice overfills is
+        likewise repacked into 3/4-full groups, bottom-up through the
+        locked path.  Only runs in Hilbert trees (the only trees with
+        batch runs), whose ``_build_dir`` rebuilds directory nodes.
+        """
+        m = leaf.size + len(run_keys)
+        all_coords = np.concatenate([leaf.leaf_coords(), run_coords])
+        all_measures = np.concatenate([leaf.leaf_measures(), run_measures])
+        all_keys = leaf.hkeys[: leaf.size] + run_keys
+        order = sorted(range(m), key=all_keys.__getitem__)
+        fill = max(2, (self.config.leaf_capacity * 3) // 4)
+        nodes: list[Node] = []
+        for s in range(0, m, fill):
+            idx = order[s : s + fill]
+            out = self._new_leaf()
+            k = len(idx)
+            out.coords[:k] = all_coords[idx]
+            out.measures[:k] = all_measures[idx]
+            out.hkeys = [all_keys[i] for i in idx]
+            out.lhv = out.hkeys[-1]
+            out.size = k
+            out.agg = Aggregate.of_array(out.leaf_measures())
+            self.policy.expand_points(out.key, out.leaf_coords())
+            nodes.append(out)
+        stats.splits += len(nodes) - 1
+        leaf.release()
+        dir_fill = max(2, (self.config.fanout * 3) // 4)
+        while True:
+            if not held:
+                # the splice reached (or started at) the root
+                while len(nodes) > 1:
+                    nodes = [
+                        self._build_dir(nodes[s : s + dir_fill])
+                        for s in range(0, len(nodes), dir_fill)
+                    ]
+                self.root = nodes[0]
+                return
+            parent, idx = held.pop()
+            parent.children[idx : idx + 1] = nodes
+            if len(parent.children) <= self.config.fanout:
+                parent.release()
+                return
+            children = parent.children
+            nodes = [
+                self._build_dir(children[s : s + dir_fill])
+                for s in range(0, len(children), dir_fill)
+            ]
+            stats.splits += len(nodes) - 1
+            parent.release()
 
     # -- bulk load ---------------------------------------------------------
 

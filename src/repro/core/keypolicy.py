@@ -33,6 +33,14 @@ class KeyPolicy:
         """Grow ``key`` to cover a point; return True if it changed."""
         raise NotImplementedError
 
+    def expand_points(self, key: Any, coords: np.ndarray) -> bool:
+        """Grow ``key`` to cover every row of an ``(n, d)`` array."""
+        changed = False
+        for row in coords:
+            if self.expand_point(key, row):
+                changed = True
+        return changed
+
     def expand(self, key: Any, other: Any) -> bool:
         """Grow ``key`` to cover another key; return True if it changed."""
         raise NotImplementedError
@@ -90,6 +98,9 @@ class MBRPolicy(KeyPolicy):
     def expand_point(self, key: Box, coords: np.ndarray) -> bool:
         return key.expand_point_inplace(coords)
 
+    def expand_points(self, key: Box, coords: np.ndarray) -> bool:
+        return key.expand_points_inplace(coords)
+
     def expand(self, key: Box, other: Box) -> bool:
         return key.expand_inplace(other)
 
@@ -139,6 +150,9 @@ class MDSPolicy(KeyPolicy):
 
     def expand_point(self, key: MDS, coords: np.ndarray) -> bool:
         return key.expand_point_inplace(coords)
+
+    def expand_points(self, key: MDS, coords: np.ndarray) -> bool:
+        return key.expand_points_inplace(coords)
 
     def expand(self, key: MDS, other: MDS) -> bool:
         return key.expand_inplace(other)

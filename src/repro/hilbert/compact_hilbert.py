@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 __all__ = ["HilbertCurve", "CompactHilbertCurve", "gray_code", "gray_code_inverse"]
 
 
@@ -130,6 +132,36 @@ def _gray_code_rank_inverse(
             bit_i = bit_g ^ ((i >> (k + 1)) & 1)
             i |= bit_i << k
     return i, g
+
+
+# -- vectorised bit primitives ------------------------------------------------
+
+
+def _popcount_u64(x: np.ndarray) -> np.ndarray:
+    """Per-element population count of a uint64 array."""
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(x).astype(np.uint64)
+    x = x.copy()
+    out = np.zeros_like(x)
+    while x.any():
+        out += x & np.uint64(1)
+        x >>= np.uint64(1)
+    return out
+
+
+def _rotate_right_vec(x: np.ndarray, k: np.ndarray, n: int) -> np.ndarray:
+    """Rotate the low ``n`` bits of each element right by ``k`` (k in [0, n))."""
+    mask = np.uint64((1 << n) - 1)
+    nn = np.uint64(n)
+    x = x & mask
+    return ((x >> k) | (x << (nn - k))) & mask
+
+
+def _rotate_left_vec(x: np.ndarray, k: np.ndarray, n: int) -> np.ndarray:
+    mask = np.uint64((1 << n) - 1)
+    nn = np.uint64(n)
+    x = x & mask
+    return ((x << k) | (x >> (nn - k))) & mask
 
 
 # -- classic Hilbert curve ---------------------------------------------------
@@ -282,6 +314,98 @@ class CompactHilbertCurve:
             e = e ^ _rotate_left(_entry_point(w), d + 1, n)
             d = (d + _direction(w, n) + 1) % n
         return tuple(p)
+
+    # -- vectorised batch kernel ------------------------------------------
+
+    def index_batch(self, points: np.ndarray) -> np.ndarray:
+        """Compact Hilbert indices of an ``(n, d)`` coordinate array.
+
+        The per-record state of Hamilton's algorithm (entry point ``e``,
+        direction ``d``) lives in uint64 arrays; each bit plane is one
+        pass of numpy bitwise operations over all rows, so the cost is
+        ``O(max_bits * num_dims)`` vector operations instead of a Python
+        loop per record.  Because rotation preserves popcounts, the
+        number of free bits per plane is record-independent, which lets
+        the per-plane rank digits be packed into 63-bit words and folded
+        into arbitrary-precision Python ints only once per word.
+
+        Returns an object array of Python ints (total bit counts
+        routinely exceed 64).  Falls back to the scalar path when a
+        dimension is wider than 63 bits or there are more than 63
+        dimensions.
+        """
+        pts = np.asarray(points)
+        if pts.ndim != 2 or pts.shape[1] != self.num_dims:
+            raise ValueError(
+                f"points must be (n, {self.num_dims}), got {pts.shape}"
+            )
+        npts = pts.shape[0]
+        if npts == 0:
+            return np.empty(0, dtype=object)
+        n = self.num_dims
+        if self.max_bits > 63 or n > 63:
+            return np.array([self.index(p) for p in pts], dtype=object)
+        limits = np.array([(1 << w) - 1 for w in self.widths], dtype=np.int64)
+        arr = pts.astype(np.int64, copy=False)
+        if (arr < 0).any() or (arr > limits[None, :]).any():
+            raise ValueError("coordinate out of range for curve widths")
+        X = arr.astype(np.uint64)
+
+        one = np.uint64(1)
+        nn = np.uint64(n)
+        mask = np.uint64((1 << n) - 1)
+        weights = one << np.arange(n, dtype=np.uint64)
+        e = np.zeros(npts, dtype=np.uint64)
+        d = np.zeros(npts, dtype=np.uint64)
+        planes: list[tuple[int, np.ndarray]] = []
+        for i in range(self.max_bits - 1, -1, -1):
+            mu_base = 0
+            for j in range(n):
+                if self.widths[j] > i:
+                    mu_base |= 1 << j
+            free_bits = bin(mu_base).count("1")
+            rot = (d + one) % nn
+            # bit plane i of every coordinate, packed into one word per row
+            l = ((X >> np.uint64(i)) & one) @ weights
+            t = _rotate_right_vec(l ^ e, rot, n)
+            # inverse Gray code via doubling XOR-shifts
+            w = t.copy()
+            shift = 1
+            while shift < n:
+                w ^= w >> np.uint64(shift)
+                shift <<= 1
+            mu = _rotate_right_vec(np.full(npts, mu_base, dtype=np.uint64), rot, n)
+            # Gray code rank: compact the mu-selected bits of w, high first
+            r = np.zeros(npts, dtype=np.uint64)
+            for k in range(n - 1, -1, -1):
+                take = ((mu >> np.uint64(k)) & one).astype(bool)
+                r[take] = (r[take] << one) | ((w[take] >> np.uint64(k)) & one)
+            # entry point e(w) = gray_code(2*((w-1)//2)) = (w-1) & ~1, w > 0
+            w_safe = np.where(w == 0, one, w)
+            g = (w_safe - one) & ~one
+            entry = np.where(w == 0, np.uint64(0), g ^ (g >> one))
+            # direction d(w): trailing set bits of (w odd ? w : w - 1)
+            tz_src = np.where(w & one == one, w, w_safe - one)
+            tsb = _popcount_u64(tz_src ^ (tz_src + one)) - one
+            dirw = np.where(w == 0, np.uint64(0), tsb % nn)
+            e = e ^ _rotate_left_vec(entry, rot, n)
+            d = (d + dirw + one) % nn
+            planes.append((free_bits, r))
+
+        # fold per-plane rank digits into Python ints, 63 bits at a time
+        out = np.zeros(npts, dtype=object)
+        word = np.zeros(npts, dtype=np.uint64)
+        word_bits = 0
+        for free_bits, r in planes:
+            if word_bits + free_bits > 63:
+                out = out * (1 << word_bits) + word.astype(object)
+                word = np.zeros(npts, dtype=np.uint64)
+                word_bits = 0
+            word = (word << np.uint64(free_bits)) | r
+            word_bits += free_bits
+        if word_bits:
+            out = out * (1 << word_bits) + word.astype(object)
+        return out
 
     # -- reference implementations for testing ---------------------------
 

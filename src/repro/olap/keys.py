@@ -186,6 +186,22 @@ class Box:
         np.maximum(self.hi, c, out=self.hi)
         return changed
 
+    def expand_points_inplace(self, coords: np.ndarray) -> bool:
+        """Grow to cover every row of an ``(n, d)`` array; True if changed."""
+        c = np.asarray(coords, dtype=np.int64)
+        if c.shape[0] == 0:
+            return False
+        lo = c.min(axis=0)
+        hi = c.max(axis=0)
+        if self.is_empty():
+            self.lo[:] = lo
+            self.hi[:] = hi
+            return True
+        changed = bool((lo < self.lo).any() or (hi > self.hi).any())
+        np.minimum(self.lo, lo, out=self.lo)
+        np.maximum(self.hi, hi, out=self.hi)
+        return changed
+
     def enlargement(self, other: "Box") -> float:
         """Volume increase needed to cover ``other`` (R-tree metric)."""
         return self.union(other).volume() - self.volume()

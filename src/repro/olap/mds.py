@@ -230,6 +230,102 @@ class MDS:
                 changed = True
         return changed
 
+    def expand_points_inplace(self, coords: np.ndarray) -> bool:
+        """Grow to cover every row of an ``(n, d)`` array in one pass.
+
+        Per dimension: unique values compress into runs of consecutive
+        ids, the runs merge with the existing interval list in a single
+        sweep, and the cap is enforced by keeping the ``cap - 1``
+        *largest* gaps as separators -- merging one interval pair never
+        changes any other gap, so this is the same endpoint set that
+        repeated smallest-gap-first coalescing converges to (up to tie
+        order; any coalescing is a valid cover).
+        """
+        c = np.asarray(coords, dtype=np.int64)
+        n = c.shape[0]
+        if n == 0:
+            return False
+        if n == 1:
+            return self.expand_point_inplace(c[0])
+        # cheapest fast path: one existing interval per dimension covers
+        # the whole run span (true for almost every non-leaf node)
+        lo_vec = c.min(axis=0)
+        hi_vec = c.max(axis=0)
+        for d in range(self.num_dims):
+            lo = lo_vec[d]
+            hi = hi_vec[d]
+            for iv in self.intervals[d]:
+                if iv[0] <= lo and hi <= iv[1]:
+                    break
+            else:
+                break
+        else:
+            return False
+        changed = False
+        cap = self.max_intervals
+        for d in range(self.num_dims):
+            ivs = self.intervals[d]
+            col = c[:, d]
+            if ivs:
+                # fast path: every value already covered -> no change
+                starts = np.fromiter(
+                    (iv[0] for iv in ivs), np.int64, len(ivs)
+                )
+                pos = np.searchsorted(starts, col, side="right") - 1
+                if (pos >= 0).all():
+                    ends = np.fromiter(
+                        (iv[1] for iv in ivs), np.int64, len(ivs)
+                    )
+                    if (col <= ends[pos]).all():
+                        continue
+            if n > 64:
+                vals = np.unique(col)
+                brk = np.nonzero(np.diff(vals) > 1)[0]
+                s_idx = np.concatenate(([0], brk + 1))
+                e_idx = np.concatenate((brk, [len(vals) - 1]))
+                new = [
+                    [int(vals[s]), int(vals[e])]
+                    for s, e in zip(s_idx, e_idx)
+                ]
+            else:
+                svals = sorted(int(v) for v in col)
+                new = []
+                lo = hi = svals[0]
+                for v in svals[1:]:
+                    if v <= hi + 1:
+                        hi = v if v > hi else hi
+                    else:
+                        new.append([lo, hi])
+                        lo = hi = v
+                new.append([lo, hi])
+            pool = sorted(ivs + new) if ivs else new
+            merged = [pool[0][:]]
+            for lo, hi in pool[1:]:
+                if lo <= merged[-1][1] + 1:
+                    if hi > merged[-1][1]:
+                        merged[-1][1] = hi
+                else:
+                    merged.append([lo, hi])
+            if len(merged) > cap:
+                gaps = np.array(
+                    [
+                        merged[i + 1][0] - merged[i][1]
+                        for i in range(len(merged) - 1)
+                    ]
+                )
+                keep = np.sort(np.argpartition(gaps, -(cap - 1))[-(cap - 1):])
+                out = []
+                start = merged[0][0]
+                for g in keep:
+                    out.append([start, merged[g][1]])
+                    start = merged[g + 1][0]
+                out.append([start, merged[-1][1]])
+                merged = out
+            if merged != ivs:
+                ivs[:] = merged
+                changed = True
+        return changed
+
     def expand_inplace(self, other: "MDS") -> bool:
         changed = False
         for d in range(self.num_dims):

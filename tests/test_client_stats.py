@@ -26,7 +26,11 @@ class EchoServer(Entity):
         self.seen += 1
         op_id = msg.payload[0]
         client = msg.payload[-1]
-        if msg.kind == "client_insert":
+        if msg.kind == "client_insert_batch":
+            self.batches = getattr(self, "batches", 0) + 1
+            op_ids = [row[0] for row in msg.payload[0]]
+            reply = Message("insert_done_batch", (op_ids,))
+        elif msg.kind == "client_insert":
             reply = Message("insert_done", (op_id, self.clock.now))
         else:
             from repro.core.aggregates import Aggregate
@@ -64,6 +68,35 @@ class TestClientSession:
         assert c.done
         assert c.completed == 20
         assert len(stats.ops) == 20
+
+    def test_batched_session_completes_all_ops(self):
+        """Coalesced inserts: fewer wire messages, same per-op records."""
+        clock, transport, server, stats = make_rig()
+        c = ClientSession(
+            0, transport, server, stats, concurrency=16,
+            batch_size=8, batch_linger=1e-3,
+        )
+        c.run_stream(insert_ops(40))
+        clock.run()
+        assert c.done
+        assert c.completed == 40
+        assert len(stats.ops) == 40  # per-record accounting survives
+        assert all(r.ok for r in stats.ops)
+        assert c.batches_sent > 0
+        assert server.seen < 40  # coalescing actually happened
+
+    def test_linger_flushes_short_batches(self):
+        """A window smaller than the batch never fills it; the linger
+        timer must flush anyway."""
+        clock, transport, server, stats = make_rig()
+        c = ClientSession(
+            0, transport, server, stats, concurrency=2,
+            batch_size=64, batch_linger=1e-3,
+        )
+        c.run_stream(insert_ops(6))
+        clock.run()
+        assert c.done and c.completed == 6
+        assert c.batches_sent >= 3  # ~window-sized flushes
 
     def test_concurrency_bounds_outstanding(self):
         clock, transport, server, stats = make_rig()
@@ -138,6 +171,16 @@ class TestClusterStats:
         assert out["mean"] == pytest.approx(0.3)
         assert out["max"] == pytest.approx(0.4)
         assert np.isnan(s.latency_stats([])["mean"])
+
+    def test_latency_stats_empty_has_same_keys(self):
+        """Regression: the empty-input dict used to miss the "max" key,
+        so ``latency_stats(recs)["max"]`` blew up on quiet windows."""
+        s = ClusterStats()
+        empty = s.latency_stats([])
+        s.record_op(OpRecord("insert", 0.0, 0.2))
+        full = s.latency_stats(s.select())
+        assert set(empty) == set(full)
+        assert all(np.isnan(v) for v in empty.values())
 
     def test_balance_series(self):
         s = ClusterStats()

@@ -118,3 +118,100 @@ def test_locking_overhead_is_optional(schema, batch):
     b.validate()
     assert a.depth() == b.depth()
     assert a.node_count() == b.node_count()
+
+
+def test_concurrent_batch_inserts_and_queries():
+    """Batched inserts race queries: no torn aggregates, nothing lost.
+
+    Every measure is 1.0, so any aggregate a querier observes must have
+    ``total == count`` -- a torn read (count updated on one path node
+    but not the sum, or a half-committed run) would break the equality.
+    """
+    schema = make_schema([[8, 8], [8, 8]])
+    config = TreeConfig(leaf_capacity=8, fanout=4, thread_safe=True)
+    tree = HilbertPDCTree(schema, config)
+    n_threads = 3
+    per_thread = 400
+    chunk = 37
+    batches = [random_batch(schema, per_thread, seed=50 + i) for i in range(n_threads)]
+    for b in batches:
+        b.measures[:] = 1.0
+    box = full_query(schema).box
+    stop = threading.Event()
+    errors = []
+    torn = []
+
+    def inserter(b):
+        try:
+            for lo in range(0, len(b), chunk):
+                tree.insert_batch(b.slice(lo, min(lo + chunk, len(b))))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def querier():
+        try:
+            while not stop.is_set():
+                agg, _ = tree.query(box)
+                if agg.total != agg.count:
+                    torn.append((agg.count, agg.total))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    inserters = [
+        threading.Thread(target=inserter, args=(b,)) for b in batches
+    ]
+    queriers = [threading.Thread(target=querier) for _ in range(2)]
+    for t in queriers + inserters:
+        t.start()
+    for t in inserters:
+        t.join()
+    stop.set()
+    for t in queriers:
+        t.join()
+    assert not errors
+    assert not torn
+    total = n_threads * per_thread
+    assert len(tree) == total
+    tree.validate()
+    agg, _ = tree.query(box)
+    assert agg.count == total and agg.total == float(total)
+
+
+def test_mixed_single_and_batch_inserts():
+    """Per-record and batched writers interleave on one tree."""
+    schema = make_schema([[8, 8], [8, 8]])
+    config = TreeConfig(leaf_capacity=8, fanout=4, thread_safe=True)
+    tree = HilbertPDCTree(schema, config)
+    single = random_batch(schema, 300, seed=71)
+    batched = random_batch(schema, 300, seed=72)
+    errors = []
+
+    def one_by_one():
+        try:
+            for coords, m in single.iter_rows():
+                tree.insert(coords, m)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    def in_chunks():
+        try:
+            for lo in range(0, len(batched), 25):
+                tree.insert_batch(batched.slice(lo, lo + 25))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=one_by_one),
+        threading.Thread(target=in_chunks),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(tree) == 600
+    tree.validate()
+    agg, _ = tree.query(full_query(schema).box)
+    assert agg.count == 600
+    expected = float(single.measures.sum()) + float(batched.measures.sum())
+    assert agg.total == pytest.approx(expected)
