@@ -1,0 +1,101 @@
+"""Observability overhead gate: instrumented vs plain headline run.
+
+The observability subsystem must be free when disabled (``transport.obs
+is None`` short-circuits every call site) and must charge **no virtual
+service time** when enabled -- spans, metrics, and tree profiling are
+bookkeeping on the simulation host, not work modelled inside the
+cluster.  This bench runs the same seeded headline workload with
+observability off and on and asserts every virtual-time throughput
+ratio stays >= 0.95 (in practice the runs are identical to the last
+event).  Wall-clock times are reported for context but not gated: the
+Python-side bookkeeping cost is real and allowed.
+
+Artifacts (repo root, uploaded by CI):
+
+* ``BENCH_obs.json`` -- both runs' rates, the ratios, span counts;
+* ``BENCH_obs_trace.jsonl`` -- the instrumented run's JSON-lines event
+  trace (spans + final metrics snapshot).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench import render_table, run_headline
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+RATE_FIELDS = (
+    "bulk_rate",
+    "point_insert_rate",
+    "batched_insert_rate",
+    "mixed_insert_rate",
+    "mixed_query_rate",
+)
+
+
+def test_observability_overhead():
+    root = Path(__file__).resolve().parent.parent
+    trace_path = root / "BENCH_obs_trace.jsonl"
+    params = dict(
+        workers=4 if QUICK else 8,
+        items_per_worker=1500 if QUICK else 3000,
+        bulk_items=3000 if QUICK else 8000,
+        point_inserts=400 if QUICK else 800,
+        mixed_ops=600 if QUICK else 1500,
+        seed=4,
+    )
+
+    t0 = time.perf_counter()
+    plain = run_headline(**params)
+    plain_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    observed = run_headline(**params, observe=True, trace_path=trace_path)
+    observed_s = time.perf_counter() - t0
+
+    ratios = {
+        f: getattr(observed, f) / getattr(plain, f) for f in RATE_FIELDS
+    }
+    result = {
+        "quick": QUICK,
+        "params": params,
+        "plain": {f: round(getattr(plain, f), 2) for f in RATE_FIELDS},
+        "observed": {f: round(getattr(observed, f), 2) for f in RATE_FIELDS},
+        "ratios": {f: round(r, 4) for f, r in ratios.items()},
+        "plain_wall_s": round(plain_s, 3),
+        "observed_wall_s": round(observed_s, 3),
+        "spans": observed.spans,
+        "trace_lines": sum(1 for _ in trace_path.open()),
+    }
+    (root / "BENCH_obs.json").write_text(json.dumps(result, indent=2) + "\n")
+
+    print()
+    print(
+        render_table(
+            "Observability overhead (virtual-time rates, off vs on)",
+            ["metric", "off", "on", "ratio"],
+            [
+                (
+                    f,
+                    round(getattr(plain, f)),
+                    round(getattr(observed, f)),
+                    round(ratios[f], 4),
+                )
+                for f in RATE_FIELDS
+            ],
+        )
+    )
+    print(
+        f"wall: {plain_s:.2f}s off vs {observed_s:.2f}s on; "
+        f"{observed.spans:,} spans, {result['trace_lines']:,} trace lines"
+    )
+
+    # the instrumented run actually instrumented something
+    assert observed.spans > 0
+    assert result["trace_lines"] > observed.spans  # spans + snapshot event
+    assert plain.spans == 0
+    # virtual-time throughput must be unaffected by instrumentation
+    for f, r in ratios.items():
+        assert r >= 0.95, (f, r, result)

@@ -1,4 +1,4 @@
-"""Network event monitoring: a custom schema on high-velocity streams.
+"""Network event monitoring on the cluster, instrumented end to end.
 
 The paper targets "applications that monitor high velocity data
 streams".  This example defines its own dimension hierarchies -- the
@@ -10,18 +10,24 @@ library is not tied to TPC-DS -- for a network-operations scenario:
 * ``time``     hour > minute > second
 * ``severity`` level (flat)
 
-It ingests bursts of events, then answers the monitoring questions an
-on-call engineer would ask: per-region traffic, a hot-minute drilldown,
-severity slices -- each an aggregate query at hierarchy levels.
+It runs the full distributed system (servers, workers, Zookeeper,
+manager) with the observability subsystem switched on via the public
+API -- ``cluster.observe()`` -- ingests a burst of events, answers the
+on-call dashboard with :meth:`Query.range` level-name constraints, and
+then reads the instrumentation back out: the span tree of one query,
+the tree profiler's work summary, the metrics snapshot, and a
+Prometheus-text excerpt.
 
 Run:  python examples/event_monitoring.py
 """
 
-import numpy as np
+import os
+import tempfile
 
-from repro import HilbertPDCTree, TPCDSGenerator, query_from_levels
+from repro import Query, TPCDSGenerator, full_query
+from repro.cluster import ClusterConfig, VOLAPCluster
 from repro.olap import Dimension, Hierarchy, Level, Schema
-from repro.olap.query import full_query
+from repro.workloads.streams import Operation
 
 
 def network_schema() -> Schema:
@@ -39,63 +45,126 @@ def network_schema() -> Schema:
     )
 
 
+def dashboard(schema: Schema) -> dict[str, Query]:
+    """The on-call panels, as level-name constraints (Query.range
+    resolves ``("region", (3,))`` against the hierarchy's level names;
+    a 1-based depth works too)."""
+    return {
+        "all traffic": full_query(schema),
+        "src region 3": Query.range(schema, src=("region", (3,))),
+        "critical sev": Query.range(schema, severity=("level", (4,))),
+        "svc class 2": Query.range(schema, service=("class", (2,))),
+        "hour 0": Query.range(schema, time=("hour", (0,))),
+        "00:00 minute": Query.range(schema, time=("minute", (0, 0))),
+    }
+
+
 def main() -> None:
     schema = network_schema()
-    # TPCDSGenerator works over any hierarchical schema: it draws
-    # Zipf-skewed values per level (hot hosts and hot services, like
-    # real traffic), with time advancing alongside the stream.
+    # TPCDSGenerator works over any hierarchical schema: Zipf-skewed
+    # values per level (hot hosts, hot services), time advancing with
+    # the stream.
     gen = TPCDSGenerator(schema, seed=11, skew=1.1, time_correlated=True)
 
-    tree = HilbertPDCTree(schema)
-    bytes_total = 0.0
-    print("Ingesting 6 bursts of 5,000 events each...")
-    for burst in range(6):
-        events = gen.batch(5_000)
-        for coords, measure in events.iter_rows():
-            tree.insert(coords, measure)
-        bytes_total += float(events.measures.sum())
-    print(f"  {len(tree):,} events indexed\n")
+    cluster = VOLAPCluster(
+        schema,
+        ClusterConfig(num_workers=4, num_servers=2, batch_size=16),
+    )
+    cluster.bootstrap(gen.batch(20_000), shards_per_worker=3)
+    obs = cluster.observe()  # spans + message metrics + tree profiling on
+    print(
+        f"Cluster up: {len(cluster.workers)} workers, "
+        f"{len(cluster.servers)} servers, {cluster.shard_count()} shards, "
+        f"{cluster.total_items():,} events indexed"
+    )
+
+    # -- a burst of events arrives (batched wire path) -----------------------
+    events = gen.batch(4_000)
+    ingest = cluster.session(0, concurrency=32)
+    ingest.run_stream(
+        [
+            Operation(
+                "insert",
+                coords=events.coords[i],
+                measure=float(events.measures[i]),
+            )
+            for i in range(len(events))
+        ]
+    )
+    cluster.run_until_clients_done()
+    print(f"Ingested {len(events):,} events -> {cluster.total_items():,} total")
 
     # -- the on-call dashboard ------------------------------------------------
-    agg, _ = tree.query(full_query(schema).box)
-    print(f"All traffic: {agg.count:,} events, volume {agg.total:,.0f}")
+    # concurrency 1: completions arrive in issue order, so results zip
+    # back to their panel names
+    panels = dashboard(schema)
+    sess = cluster.session(1, concurrency=1)
+    collected = []
+    sess.on_complete = collected.append
+    names = list(panels)
+    sess.run_stream([Operation("query", query=panels[n]) for n in names])
+    cluster.run_until_clients_done()
 
-    print("\nPer-source-region breakdown:")
-    for region in range(8):
-        q = query_from_levels(schema, {"src": (1, (region,))})
-        agg, _ = tree.query(q.box)
-        if agg.count:
-            bar = "#" * max(1, int(50 * agg.count / len(tree)))
-            print(f"  region {region}: {agg.count:7,} {bar}")
-
-    print("\nCritical severity (level 4) by service class:")
-    for svc in range(6):
-        q = query_from_levels(
-            schema, {"severity": (1, (4,)), "service": (1, (svc,))}
-        )
-        agg, st = tree.query(q.box)
+    print("\nDashboard:")
+    for name, rec in zip(names, collected):
         print(
-            f"  class {svc}: {agg.count:6,} events "
-            f"(max size {agg.vmax if agg.count else 0:.1f}, "
-            f"{st.nodes_visited} nodes visited)"
+            f"  {name:14s} n={rec.result_count:8,}  "
+            f"latency={rec.latency * 1e3:6.2f} ms  "
+            f"shards={rec.shards_searched}"
         )
 
-    # -- hot-minute drilldown --------------------------------------------------
-    # find the busiest hour first, then drill into its minutes
-    counts = []
-    for hour in range(24):
-        q = query_from_levels(schema, {"time": (1, (hour,))})
-        agg, _ = tree.query(q.box)
-        counts.append(agg.count)
-    hot_hour = int(np.argmax(counts))
-    print(f"\nBusiest hour: {hot_hour:02d}:00 with {counts[hot_hour]:,} events")
-    minute_counts = []
-    for minute in range(0, 60, 10):
-        q = query_from_levels(schema, {"time": (2, (hot_hour, minute))})
-        agg, _ = tree.query(q.box)
-        minute_counts.append((minute, agg.count))
-    for minute, c in minute_counts:
-        print(f"  {hot_hour:02d}:{minute:02d}  {c:6,}")
+    # -- one query, end to end: the span tree ---------------------------------
+    # every op is a trace; pick the dashboard query with the widest
+    # fan-out and show its causally-linked stages with virtual durations
+    query_roots = [
+        s for s in obs.tracer.roots() if s.name == "client.query"
+    ]
+    root = max(query_roots, key=lambda s: len(obs.tracer.trace(s.trace_id)))
+    print(f"\nSpan tree of one dashboard query (trace {root.trace_id}):")
+
+    def show(span, depth=0):
+        dur = f"{span.duration * 1e3:7.3f} ms" if span.closed else "   open  "
+        print(f"  {dur}  {'  ' * depth}{span.name} [{span.entity}]")
+        for child in sorted(
+            obs.tracer.children(span), key=lambda s: s.span_id
+        ):
+            show(child, depth + 1)
+
+    show(root)
+    print(f"  stages: {' > '.join(obs.span_tree(root.trace_id))}")
+
+    # -- what the index did: tree profiler summary ----------------------------
+    print("\nTree work per operation kind:")
+    for kind, row in obs.profiler.summary().items():
+        print(
+            f"  {kind:13s} ops={row['ops']:6,.0f} rows={row['rows']:7,.0f} "
+            f"nodes/op={row['nodes_per_op']:6.1f} "
+            f"leaf-scan frac={row['leaf_scan_fraction']:.2f}"
+        )
+
+    # -- metrics: snapshot + Prometheus text ----------------------------------
+    snap = cluster.metrics.snapshot()
+    ops = snap["counters"]["volap_ops_total"]
+    lat = snap["histograms"]["volap_op_latency_seconds"]
+    print(f"\nOps recorded: {ops['total']:,.0f} "
+          f"(p95 latency {lat['p95'] * 1e3:.2f} ms virtual)")
+    msgs = snap["counters"]["volap_messages_total"]
+    top = sorted(msgs["series"], key=lambda s: -s["value"])[:4]
+    print("Top message kinds: " + ", ".join(
+        f"{s['labels']['kind']}={s['value']:,.0f}" for s in top
+    ))
+
+    prom = obs.to_prometheus()
+    excerpt = [l for l in prom.splitlines() if "volap_tree_ops_total" in l]
+    print("\nPrometheus excerpt:")
+    for line in excerpt:
+        print(f"  {line}")
+
+    # -- export the whole trace for offline tooling ---------------------------
+    out = os.path.join(tempfile.gettempdir(), "volap_events.jsonl")
+    lines = obs.dump_events_jsonl(out)
+    print(f"\nWrote {lines:,} events (spans + metrics snapshot) to {out}")
+    print(f"Open spans (should be 0 on a healthy run): {len(obs.open_spans())}")
 
 
 if __name__ == "__main__":

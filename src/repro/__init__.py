@@ -37,6 +37,7 @@ from .cluster import (
 )
 from .freshness import LatencyDistribution, PBSSimulator
 from .hilbert import CompactHilbertCurve, HilbertCurve, HilbertKeyMapper
+from .obs import MetricsRegistry, Observability, TreeProfiler
 from .olap import (
     Box,
     Dimension,
@@ -78,6 +79,8 @@ __all__ = [
     "LatencyModel",
     "Level",
     "MDS",
+    "MetricsRegistry",
+    "Observability",
     "OpStats",
     "PBSSimulator",
     "PDCTree",
@@ -89,6 +92,7 @@ __all__ = [
     "StreamGenerator",
     "TPCDSGenerator",
     "TreeConfig",
+    "TreeProfiler",
     "VOLAPCluster",
     "__version__",
     "drilldown_path",

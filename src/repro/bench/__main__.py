@@ -175,8 +175,11 @@ def _headline(quick: bool) -> None:
             [
                 ("bulk items/s", round(res.bulk_rate)),
                 ("point inserts/s", round(res.point_insert_rate)),
+                ("batched inserts/s", round(res.batched_insert_rate)),
                 ("mixed inserts/s", round(res.mixed_insert_rate)),
                 ("mixed queries/s", round(res.mixed_query_rate)),
+                ("p95 insert ms", round(res.p95_insert_latency * 1e3, 2)),
+                ("p95 query ms", round(res.p95_query_latency * 1e3, 2)),
             ],
         )
     )

@@ -1,5 +1,6 @@
 """The distributed VOLAP system (simulated substrate; see DESIGN.md)."""
 
+from ..obs import MetricsRegistry, Observability
 from .client import ClientSession
 from .cluster import ClusterConfig, VOLAPCluster
 from .cost import CostModel
@@ -36,6 +37,8 @@ __all__ = [
     "LocalImage",
     "Manager",
     "Message",
+    "MetricsRegistry",
+    "Observability",
     "OpRecord",
     "Server",
     "ServicePool",

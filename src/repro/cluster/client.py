@@ -44,6 +44,7 @@ class _PendingOp:
     op_id: int
     submit_time: float
     attempts: int = 1
+    span: object = None  # root obs span, None when tracing is off
 
 
 class ClientSession(Entity):
@@ -110,6 +111,12 @@ class ClientSession(Entity):
         self._op_seq += 1
         op_id = (self.client_id << 24) | self._op_seq
         pending = _PendingOp(op, op_id, self.transport.clock.now)
+        if self.transport.obs is not None:
+            pending.span = self.transport.obs.start_span(
+                "client.insert" if op.is_insert else "client.query",
+                self.name,
+                op_id=op_id,
+            )
         self._pending[op_id] = pending
         if op.is_insert and self.batch_size > 1:
             self._buffer.append(pending)
@@ -133,7 +140,15 @@ class ClientSession(Entity):
         if not self._buffer:
             return
         self._flush_gen += 1
-        rows = [(p.op_id, p.op.coords, p.op.measure) for p in self._buffer]
+        rows = [
+            (
+                p.op_id,
+                p.op.coords,
+                p.op.measure,
+                p.span.ctx if p.span is not None else None,
+            )
+            for p in self._buffer
+        ]
         self._buffer.clear()
         self.batches_sent += 1
         self.transport.send(
@@ -154,6 +169,7 @@ class ClientSession(Entity):
             if p is pending:
                 del self._buffer[i]
                 break
+        ctx = pending.span.ctx if pending.span is not None else None
         if op.is_insert:
             self.transport.send(
                 self.server,
@@ -161,13 +177,17 @@ class ClientSession(Entity):
                     "client_insert",
                     (pending.op_id, op.coords, op.measure, self),
                     sender=self,
+                    ctx=ctx,
                 ),
             )
         else:
             self.transport.send(
                 self.server,
                 Message(
-                    "client_query", (pending.op_id, op.query, self), sender=self
+                    "client_query",
+                    (pending.op_id, op.query, self),
+                    sender=self,
+                    ctx=ctx,
                 ),
             )
 
@@ -198,10 +218,17 @@ class ClientSession(Entity):
 
         self.transport.clock.after(delay, fire)
 
+    def _finish_span(self, pending: _PendingOp, ok: bool) -> None:
+        if pending.span is not None and self.transport.obs is not None:
+            self.transport.obs.finish_span(
+                pending.span, ok=ok, attempts=pending.attempts
+            )
+
     def _give_up(self, op_id: int) -> None:
         pending = self._pending.pop(op_id, None)
         if pending is None:
             return
+        self._finish_span(pending, ok=False)
         op = pending.op
         rec = OpRecord(
             "insert" if op.is_insert else "query",
@@ -225,6 +252,7 @@ class ClientSession(Entity):
                 pending = self._pending.pop(op_id, None)
                 if pending is None:
                     continue  # duplicated or post-timeout reply
+                self._finish_span(pending, ok=True)
                 self._complete(
                     OpRecord(
                         "insert",
@@ -239,6 +267,7 @@ class ClientSession(Entity):
             pending = self._pending.pop(op_id, None)
             if pending is None:
                 return  # duplicated or post-timeout reply
+            self._finish_span(pending, ok=True)
             rec = OpRecord(
                 "insert", pending.submit_time, now, attempts=pending.attempts
             )
@@ -247,6 +276,7 @@ class ClientSession(Entity):
             pending = self._pending.pop(op_id, None)
             if pending is None:
                 return
+            self._finish_span(pending, ok=False)
             rec = OpRecord(
                 "insert",
                 pending.submit_time,
@@ -260,6 +290,7 @@ class ClientSession(Entity):
             pending = self._pending.pop(op_id, None)
             if pending is None:
                 return
+            self._finish_span(pending, ok=True)
             rec = OpRecord(
                 "query",
                 pending.submit_time,

@@ -9,6 +9,7 @@ time control.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -17,6 +18,7 @@ import numpy as np
 from ..core.config import TreeConfig
 from ..core.hilbert_trees import HilbertPDCTree
 from ..hilbert.id_expansion import HilbertKeyMapper
+from ..obs import MetricsRegistry, Observability
 from ..olap.records import RecordBatch
 from ..olap.schema import Schema
 from .client import ClientSession
@@ -31,6 +33,21 @@ from .worker import Worker
 from .zookeeper import Zookeeper
 
 __all__ = ["ClusterConfig", "VOLAPCluster"]
+
+#: aliases already warned about (one warning per process, clearable in tests)
+_warned_batch_aliases: set[str] = set()
+
+
+def _warn_alias(old: str, new: str) -> None:
+    if old in _warned_batch_aliases:
+        return
+    _warned_batch_aliases.add(old)
+    warnings.warn(
+        f"ClusterConfig.{old} is deprecated; use ClusterConfig.{new} "
+        f"(same meaning, shared with ClientSession({new}=...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -59,10 +76,16 @@ class ClusterConfig:
     client_concurrency: int = 16
     #: client-side wire batching: coalesce up to this many inserts into
     #: one ``client_insert_batch`` message; 1 keeps the classic
-    #: one-message-per-insert path byte-identical
-    client_batch_size: int = 1
+    #: one-message-per-insert path byte-identical.  Same spelling as
+    #: ``ClientSession(batch_size=...)`` / ``session(batch_size=...)``.
+    batch_size: int = 1
     #: how long a partially filled client batch waits before flushing
-    client_batch_linger: float = 2e-3
+    batch_linger: float = 2e-3
+    #: deprecated aliases of ``batch_size`` / ``batch_linger`` -- kept
+    #: one release for old callers; a one-time DeprecationWarning fires
+    #: and the value forwards to the new field
+    client_batch_size: Optional[int] = field(default=None, repr=False)
+    client_batch_linger: Optional[float] = field(default=None, repr=False)
     seed: int = 0
     #: request timeouts / retries / backoff (clients and servers)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -72,6 +95,17 @@ class ClusterConfig:
     heartbeat_miss_k: int = 4
     #: periodic shard checkpointing for failover restores; 0 disables
     checkpoint_period: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.client_batch_size is not None:
+            _warn_alias("client_batch_size", "batch_size")
+            object.__setattr__(self, "batch_size", self.client_batch_size)
+        if self.client_batch_linger is not None:
+            _warn_alias("client_batch_linger", "batch_linger")
+            object.__setattr__(self, "batch_linger", self.client_batch_linger)
+        # old readers of the legacy names keep seeing the resolved values
+        object.__setattr__(self, "client_batch_size", self.batch_size)
+        object.__setattr__(self, "client_batch_linger", self.batch_linger)
 
 
 class VOLAPCluster:
@@ -124,7 +158,77 @@ class VOLAPCluster:
         )
         self._clients: list[ClientSession] = []
         self._mapper = HilbertKeyMapper(schema)
+        self.stats.registry.register_collector(self._collect_entity_gauges)
         self.clock.every(self.config.stats_period, self._periodic_stats)
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The cluster's metrics registry -- always live; snapshot with
+        ``cluster.metrics.snapshot()`` (schema in docs/observability.md)."""
+        return self.stats.registry
+
+    @property
+    def obs(self) -> Optional[Observability]:
+        """The installed :class:`Observability` facade, or ``None``."""
+        return self.transport.obs
+
+    def observe(
+        self,
+        spans: bool = True,
+        profile_trees: bool = True,
+        message_metrics: bool = True,
+    ) -> Observability:
+        """Switch on end-to-end instrumentation (op spans, per-kind
+        message counters, tree profiling) and return the facade.
+
+        This is the single sanctioned instrumentation path: the facade
+        lands on ``transport.obs``, every entity picks it up from there,
+        and it shares the cluster's metrics registry.  Idempotent --
+        calling again returns the already-installed facade."""
+        if self.transport.obs is None:
+            self.transport.obs = Observability(
+                self.clock,
+                registry=self.stats.registry,
+                spans=spans,
+                profile_trees=profile_trees,
+                message_metrics=message_metrics,
+            )
+        return self.transport.obs
+
+    def unobserve(self) -> None:
+        """Detach instrumentation; the send/apply paths go back to the
+        zero-overhead disabled mode."""
+        self.transport.obs = None
+
+    def _collect_entity_gauges(self) -> None:
+        """Snapshot-time collector: pull live per-entity state into
+        gauges (runs only when ``metrics.snapshot()`` is taken)."""
+        r = self.stats.registry
+        for wid, w in self.workers.items():
+            r.gauge("volap_worker_items", worker=wid).set(w.total_items())
+            r.gauge("volap_worker_shards", worker=wid).set(len(w.shards))
+            r.gauge("volap_worker_backlog", worker=wid).set(w.pool.backlog)
+            r.gauge("volap_worker_dedup_hits", worker=wid).set(w.dedup_hits)
+        for s in self.servers:
+            sid = s.server_id
+            r.gauge("volap_server_inserts_routed", server=sid).set(
+                s.inserts_routed
+            )
+            r.gauge("volap_server_queries_routed", server=sid).set(
+                s.queries_routed
+            )
+            r.gauge("volap_server_insert_retries", server=sid).set(
+                s.insert_retries
+            )
+            r.gauge("volap_server_degraded_queries", server=sid).set(
+                s.degraded_queries
+            )
+        r.gauge("volap_transport_messages_sent").set(
+            self.transport.messages_sent
+        )
+        r.gauge("volap_transport_bytes_sent").set(self.transport.bytes_sent)
 
     # -- wiring helpers --------------------------------------------------------
 
@@ -220,14 +324,12 @@ class VOLAPCluster:
             retry=self.config.retry,
             seed=self.config.seed * 7919 + len(self._clients),
             batch_size=(
-                batch_size
-                if batch_size is not None
-                else self.config.client_batch_size
+                batch_size if batch_size is not None else self.config.batch_size
             ),
             batch_linger=(
                 batch_linger
                 if batch_linger is not None
-                else self.config.client_batch_linger
+                else self.config.batch_linger
             ),
         )
         self._clients.append(c)

@@ -81,6 +81,8 @@ class Manager(Entity):
         self._next_shard_id = first_shard_id
         #: shard id -> (epoch, op kind) while a split/migration/restore runs
         self._busy_shards: dict[int, tuple[int, str]] = {}
+        #: shard id -> open obs span of its in-flight balancing op
+        self._op_spans: dict[int, object] = {}
         self._op_epoch = 0
         self._inflight = 0
         self.splits_started = 0
@@ -180,6 +182,7 @@ class Manager(Entity):
         ck = self.checkpoints.get(sid) if self.checkpoints else None
         blob = ck[0] if ck is not None else None
         self._mark_busy(sid, "restore")
+        span = self._start_op_span("restore", sid)
         self.transport.send(
             dst,
             Message(
@@ -187,6 +190,7 @@ class Manager(Entity):
                 (sid, blob, self),
                 size=len(blob) if blob is not None else 64,
                 sender=self,
+                ctx=span.ctx if span is not None else None,
             ),
         )
 
@@ -251,6 +255,23 @@ class Manager(Entity):
 
     # -- operations -----------------------------------------------------------
 
+    def _start_op_span(self, kind: str, shard_id: int):
+        """Open the root span of a balancing op (``manager.split`` /
+        ``manager.migrate`` / ``manager.restore``); ``None`` when off."""
+        if self.transport.obs is None:
+            return None
+        span = self.transport.obs.start_span(
+            f"manager.{kind}", self.name, shard=shard_id
+        )
+        if span is not None:
+            self._op_spans[shard_id] = span
+        return span
+
+    def _finish_op_span(self, shard_id: int, **tags) -> None:
+        span = self._op_spans.pop(shard_id, None)
+        if span is not None and self.transport.obs is not None:
+            self.transport.obs.finish_span(span, **tags)
+
     def _mark_busy(self, shard_id: int, kind: str, src: Optional[int] = None) -> None:
         """Track an in-flight op and arm a give-up timer so an op whose
         participant died cannot leak the shard's busy slot forever."""
@@ -262,6 +283,7 @@ class Manager(Entity):
             if self._busy_shards.get(shard_id) != (epoch, kind):
                 return  # completed (or superseded) in time
             del self._busy_shards[shard_id]
+            self._finish_op_span(shard_id, ok=False, timeout=True)
             self.ops_timed_out += 1
             if kind in ("split", "migrate"):
                 self._inflight -= 1
@@ -286,22 +308,32 @@ class Manager(Entity):
 
     def _start_split(self, worker_id: int, shard_id: int) -> None:
         self._mark_busy(shard_id, "split")
+        span = self._start_op_span("split", shard_id)
         self._inflight += 1
         self.splits_started += 1
         low, high = self.allocate_shard_id(), self.allocate_shard_id()
         self.transport.send(
             self.workers[worker_id],
-            Message("split_shard", (shard_id, low, high, self), sender=self),
+            Message(
+                "split_shard",
+                (shard_id, low, high, self),
+                sender=self,
+                ctx=span.ctx if span is not None else None,
+            ),
         )
 
     def _start_migration(self, src: int, dst: int, shard_id: int) -> None:
         self._mark_busy(shard_id, "migrate", src=src)
+        span = self._start_op_span("migrate", shard_id)
         self._inflight += 1
         self.migrations_started += 1
         self.transport.send(
             self.workers[src],
             Message(
-                "migrate_shard", (shard_id, self.workers[dst], self), sender=self
+                "migrate_shard",
+                (shard_id, self.workers[dst], self),
+                sender=self,
+                ctx=span.ctx if span is not None else None,
             ),
         )
 
@@ -312,16 +344,20 @@ class Manager(Entity):
             shard_id, _low, _high, _wid = msg.payload
             if self._release(shard_id, "split"):
                 self.stats.record_split(self.clock.now)
+            self._finish_op_span(shard_id, ok=True)
         elif msg.kind == "migrate_done":
             shard_id, _src, _dst = msg.payload
             if self._release(shard_id, "migrate"):
                 self.stats.record_migration(self.clock.now)
+            self._finish_op_span(shard_id, ok=True)
         elif msg.kind in ("split_failed", "migrate_failed"):
             shard_id = msg.payload[0]
             self._release(shard_id, msg.kind.split("_")[0])
+            self._finish_op_span(shard_id, ok=False)
         elif msg.kind == "restore_done":
             shard_id, wid, _size = msg.payload
             self._busy_shards.pop(shard_id, None)
+            self._finish_op_span(shard_id, ok=True)
             if shard_id in self._pending_restores:
                 self._pending_restores.discard(shard_id)
                 self.restores_done += 1

@@ -52,6 +52,7 @@ class _PendingQuery:
     shards_total: int
     #: requested shards a worker answered for but no longer holds
     unresolved: int = 0
+    span: object = None  # server.route_query obs span, None when off
 
 
 @dataclass
@@ -63,6 +64,7 @@ class _PendingInsert:
     coords: np.ndarray
     measure: float
     retries: int = 0
+    span: object = None  # server.route_insert obs span, None when off
 
 
 class Server(Entity):
@@ -140,11 +142,20 @@ class Server(Entity):
         self._token += 1
         return (self.server_id << 32) | self._token
 
+    def _finish_span(self, span, **tags) -> None:
+        if span is not None and self.transport.obs is not None:
+            self.transport.obs.finish_span(span, **tags)
+
     def _on_client_insert(self, msg: Message) -> None:
         op_id, coords, measure, reply_to = msg.payload
         token = self._next_token()
+        span = None
+        if self.transport.obs is not None:
+            span = self.transport.obs.start_span(
+                "server.route_insert", self.name, parent=msg.ctx, op_id=op_id
+            )
         self._pending_inserts[token] = _PendingInsert(
-            token, op_id, reply_to, self.clock.now, coords, measure
+            token, op_id, reply_to, self.clock.now, coords, measure, span=span
         )
         self._route_insert(token)
         self._arm_insert_timer(token, self.retry.insert_timeout)
@@ -157,18 +168,31 @@ class Server(Entity):
         path, so batching never weakens the delivery guarantees."""
         rows, reply_to = msg.payload
         now = self.clock.now
+        obs = self.transport.obs
         nodes = 0
         by_worker: dict[int, list[tuple]] = {}
-        for op_id, coords, measure in rows:
+        for op_id, coords, measure, ctx in rows:
             token = self._next_token()
+            span = None
+            if obs is not None:
+                span = obs.start_span(
+                    "server.route_insert", self.name, parent=ctx, op_id=op_id
+                )
             self._pending_inserts[token] = _PendingInsert(
-                token, op_id, reply_to, now, coords, measure
+                token, op_id, reply_to, now, coords, measure, span=span
             )
             info = self.image.route_insert(coords)
             nodes += self.image.nodes_visited_last
             self.inserts_routed += 1
             by_worker.setdefault(info.worker_id, []).append(
-                (info.shard_id, coords, measure, token, op_id)
+                (
+                    info.shard_id,
+                    coords,
+                    measure,
+                    token,
+                    op_id,
+                    span.ctx if span is not None else None,
+                )
             )
             self._arm_insert_timer(token, self.retry.insert_timeout)
         service = self.cost.route_time(nodes)
@@ -196,6 +220,7 @@ class Server(Entity):
             pending = self._pending_inserts.pop(token, None)
             if pending is None:
                 continue
+            self._finish_span(pending.span, ok=True)
             done.setdefault(pending.reply_to, []).append(pending.op_id)
         for reply_to, op_ids in done.items():
             self.transport.send(
@@ -219,6 +244,8 @@ class Server(Entity):
         service = self.cost.route_time(self.image.nodes_visited_last)
         worker = self.workers[info.worker_id]
 
+        ctx = pending.span.ctx if pending.span is not None else None
+
         def forward() -> None:
             self.transport.send(
                 worker,
@@ -233,6 +260,7 @@ class Server(Entity):
                         self,
                     ),
                     sender=self,
+                    ctx=ctx,
                 ),
             )
 
@@ -281,6 +309,7 @@ class Server(Entity):
         pending = self._pending_inserts.pop(token, None)
         if pending is None:
             return
+        self._finish_span(pending.span, ok=False)
         self.insert_failures += 1
         self.transport.send(
             pending.reply_to,
@@ -296,6 +325,7 @@ class Server(Entity):
         pending = self._pending_inserts.pop(token, None)
         if pending is None:
             return
+        self._finish_span(pending.span, ok=True)
         self.transport.send(
             pending.reply_to,
             Message(
@@ -311,13 +341,18 @@ class Server(Entity):
     def _on_client_query(self, msg: Message) -> None:
         op_id, query, reply_to = msg.payload
         token = self._next_token()
+        span = None
+        if self.transport.obs is not None:
+            span = self.transport.obs.start_span(
+                "server.route_query", self.name, parent=msg.ctx, op_id=op_id
+            )
         infos = self.image.search(query.box)
         self.queries_routed += 1
         service = self.cost.route_time(self.image.nodes_visited_last)
         if not infos:
             pending = _PendingQuery(
                 token, op_id, reply_to, self.clock.now, Aggregate.empty(),
-                0, query.coverage, {}, 0,
+                0, query.coverage, {}, 0, span=span,
             )
             self.pool.submit(
                 service, lambda: self._finish_query(pending)
@@ -336,16 +371,21 @@ class Server(Entity):
             query.coverage,
             {wid: len(sids) for wid, sids in by_worker.items()},
             len(infos),
+            span=span,
         )
         self._pending_queries[token] = pending
         box_t = query.box.to_tuple()
+        ctx = span.ctx if span is not None else None
 
         def fan_out() -> None:
             for worker_id, shard_ids in by_worker.items():
                 self.transport.send(
                     self.workers[worker_id],
                     Message(
-                        "query", (token, shard_ids, box_t, self), sender=self
+                        "query",
+                        (token, shard_ids, box_t, self),
+                        sender=self,
+                        ctx=ctx,
                     ),
                 )
 
@@ -395,6 +435,11 @@ class Server(Entity):
         )
 
     def _finish_query(self, pending: _PendingQuery, achieved: float = 1.0) -> None:
+        self._finish_span(
+            pending.span,
+            achieved=achieved,
+            shards_searched=pending.shards_searched,
+        )
         self.transport.send(
             pending.reply_to,
             Message(

@@ -5,6 +5,14 @@ latencies split by kind and coverage band (Figs 7b, 8b, 9a), completed
 operation counts over virtual time (throughput, Figs 7a, 8a), shards
 searched per query (Fig 9b), per-worker data sizes over time (Fig 6),
 and cumulative split/migration counts (Fig 6, right axis).
+
+Every record also lands in a :class:`~repro.obs.metrics.MetricsRegistry`
+(``volap_ops_total``, ``volap_op_latency_seconds``, ``volap_splits_total``,
+...).  Each ``ClusterStats`` owns its registry unless one is passed in,
+so two clusters in one process never share metric state -- there is
+deliberately no module-level cache anywhere in this module (the
+analysis helpers ``select()`` / ``degraded()`` recompute from
+``self.ops`` on every call).
 """
 
 from __future__ import annotations
@@ -13,6 +21,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
 
 __all__ = ["OpRecord", "ClusterStats"]
 
@@ -41,7 +51,10 @@ class OpRecord:
 class ClusterStats:
     """Accumulates operation records and system snapshots."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        #: per-cluster metrics registry (``cluster.metrics``); always
+        #: live, created here unless the caller shares one in
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.ops: list[OpRecord] = []
         self.splits = 0
         self.migrations = 0
@@ -60,20 +73,44 @@ class ClusterStats:
         self.ops.append(rec)
         if not rec.ok:
             self.failures += 1
+        r = self.registry
+        r.counter(
+            "volap_ops_total", kind=rec.kind, ok=rec.ok
+        ).inc()
+        r.histogram(
+            "volap_op_latency_seconds", kind=rec.kind
+        ).observe(rec.latency)
+        if rec.attempts > 1:
+            r.counter("volap_op_retransmits_total", kind=rec.kind).inc(
+                rec.attempts - 1
+            )
+        if rec.kind == "query":
+            if rec.ok and rec.achieved < 1.0:
+                r.counter("volap_degraded_queries_total").inc()
+            r.histogram(
+                "volap_query_shards_searched",
+                buckets=DEFAULT_COUNT_BUCKETS,
+            ).observe(rec.shards_searched)
 
     def record_failover(self, time: float, worker_id: int, shards: int) -> None:
         self.failovers.append((time, worker_id, shards))
+        self.registry.counter("volap_failovers_total").inc()
+        self.registry.counter("volap_shards_lost_total").inc(shards)
 
     def record_split(self, time: float) -> None:
         self.splits += 1
         self.balance_events.append((time, "split"))
+        self.registry.counter("volap_splits_total").inc()
 
     def record_migration(self, time: float) -> None:
         self.migrations += 1
         self.balance_events.append((time, "migration"))
+        self.registry.counter("volap_migrations_total").inc()
 
     def snapshot_workers(self, time: float, sizes: dict[int, int]) -> None:
         self.worker_sizes.append((time, dict(sizes)))
+        for wid, items in sizes.items():
+            self.registry.gauge("volap_worker_items", worker=wid).set(items)
 
     # -- analysis -----------------------------------------------------------
 

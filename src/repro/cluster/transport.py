@@ -46,6 +46,9 @@ class Message:
     payload: Any = None
     sender: Optional["Entity"] = None
     size: int = 128  # wire size estimate in bytes
+    #: optional SpanContext (see obs/spans.py) so the receiver can
+    #: parent its span under the sender's; ``None`` when tracing is off
+    ctx: Any = None
 
 
 class Entity:
@@ -74,11 +77,16 @@ class Transport:
         #: optional FaultInjector (see faults.py); ``None`` keeps the
         #: delivery path byte-identical to the fault-free transport
         self.faults = None
+        #: optional Observability facade (see obs/); ``None`` keeps the
+        #: send path byte-identical to the uninstrumented transport
+        self.obs = None
 
     def send(self, dst: Entity, msg: Message) -> None:
         """Schedule delivery of ``msg`` to ``dst``."""
         self.messages_sent += 1
         self.bytes_sent += msg.size
+        if self.obs is not None:
+            self.obs.on_message(msg)
         delay = self.latency.delay(msg.size, self.rng)
         if self.faults is not None:
             for extra in self.faults.plan_delivery(msg, dst):
@@ -90,4 +98,6 @@ class Transport:
         """Same-process delivery (inter-thread ZeroMQ): negligible delay."""
         self.messages_sent += 1
         self.bytes_sent += msg.size
+        if self.obs is not None:
+            self.obs.on_message(msg)
         self.clock.after(1e-6, lambda: dst.receive(msg))

@@ -208,6 +208,7 @@ class Worker(Entity):
 
     def _on_insert(self, msg: Message) -> None:
         shard_id, coords, measure, token, op_id, reply_to = msg.payload
+        obs = self.transport.obs
         if op_id and op_id in self._seen_ops:
             # duplicated or retransmitted insert: already applied, so
             # just re-ack (exactly-once effect under at-least-once sends)
@@ -217,29 +218,50 @@ class Worker(Entity):
                 Message("insert_ack", (token, self.worker_id), sender=self),
             )
             return
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "worker.apply_insert", self.name, parent=msg.ctx, op_id=op_id
+            )
         sid = self._resolve_insert(shard_id, coords)
         if sid in self.frozen:
-            stats = self.queues[sid].insert(coords, measure)
+            target = self.queues[sid]
         elif sid in self.shards:
-            stats = self.shards[sid].insert(coords, measure)
+            target = self.shards[sid]
         else:
             # Shard moved away entirely; a stale route. Reject so the
             # server can retry against its refreshed image.
+            if obs is not None:
+                obs.finish_span(span, ok=False, nack=True)
             self.transport.send(
                 reply_to, Message("insert_nack", (token, shard_id), sender=self)
             )
             return
+        tspan = None
+        if obs is not None:
+            tspan = obs.start_span(
+                "tree.insert",
+                self.name,
+                parent=span.ctx if span is not None else None,
+                shard=sid,
+            )
+        stats = target.insert(coords, measure)
         if op_id:
             self._seen_ops.add(op_id)
         self.inserts_done += 1
         service = self.cost.insert_time(stats)
-        self._submit(
-            service,
-            lambda: self.transport.send(
+
+        def ack() -> None:
+            if obs is not None:
+                obs.record_tree_op("insert", stats)
+                obs.finish_span(tspan, nodes=stats.nodes_visited)
+                obs.finish_span(span, ok=True)
+            self.transport.send(
                 reply_to,
                 Message("insert_ack", (token, self.worker_id), sender=self),
-            ),
-        )
+            )
+
+        self._submit(service, ack)
 
     def _on_insert_batch(self, msg: Message) -> None:
         """Apply a batched online insert (paper's high-velocity path).
@@ -252,10 +274,12 @@ class Worker(Entity):
         sees one Hilbert-sorted run sequence, not ``n`` point inserts.
         """
         entries, reply_to = msg.payload
+        obs = self.transport.obs
         acked: list[int] = []
         nacked: list[tuple[int, int]] = []
+        row_spans: list = []
         groups: dict[int, list[tuple[np.ndarray, float]]] = {}
-        for shard_id, coords, measure, token, op_id in entries:
+        for shard_id, coords, measure, token, op_id, ctx in entries:
             if op_id and op_id in self._seen_ops:
                 self.dedup_hits += 1
                 acked.append(token)
@@ -264,6 +288,16 @@ class Worker(Entity):
             if sid not in self.frozen and sid not in self.shards:
                 nacked.append((token, shard_id))
                 continue
+            if obs is not None:
+                row_spans.append(
+                    obs.start_span(
+                        "worker.apply_insert",
+                        self.name,
+                        parent=ctx,
+                        op_id=op_id,
+                        batched=True,
+                    )
+                )
             groups.setdefault(sid, []).append((coords, measure))
             if op_id:
                 self._seen_ops.add(op_id)
@@ -282,17 +316,23 @@ class Worker(Entity):
             applied += len(rows)
         self.inserts_done += applied
         service = self.cost.insert_batch_time(applied, stats)
-        self._submit(
-            service,
-            lambda: self.transport.send(
+
+        def ack() -> None:
+            if obs is not None:
+                if applied:
+                    obs.record_tree_op("insert_batch", stats, rows=applied)
+                for s in row_spans:
+                    obs.finish_span(s, ok=True)
+            self.transport.send(
                 reply_to,
                 Message(
                     "insert_batch_ack",
                     (acked, self.worker_id, nacked),
                     sender=self,
                 ),
-            ),
-        )
+            )
+
+        self._submit(service, ack)
 
     def _on_bulk_insert(self, msg: Message) -> None:
         shard_id, batch, token, reply_to = msg.payload
@@ -349,6 +389,10 @@ class Worker(Entity):
 
     def _on_query(self, msg: Message) -> None:
         token, shard_ids, box_t, reply_to = msg.payload
+        obs = self.transport.obs
+        span = None
+        if obs is not None:
+            span = obs.start_span("worker.query", self.name, parent=msg.ctx)
         box = Box.from_tuple(box_t)
         agg = Aggregate.empty()
         total_stats = OpStats()
@@ -359,17 +403,30 @@ class Worker(Entity):
             for sid in self._resolve_query(requested):
                 store = self.shards.get(sid)
                 if store is not None:
+                    tspan = None
+                    if obs is not None:
+                        tspan = obs.start_span(
+                            "tree.query",
+                            self.name,
+                            parent=span.ctx if span is not None else None,
+                            shard=sid,
+                        )
                     sub, stats = store.query(box)
                     agg.merge(sub)
                     total_stats.merge(stats)
                     searched += 1
                     hit = True
+                    if obs is not None:
+                        obs.record_tree_op("query", stats)
+                        obs.finish_span(tspan, nodes=stats.nodes_visited)
                 queue = self.queues.get(sid)
                 if queue is not None and len(queue):
                     sub, stats = queue.query(box)
                     agg.merge(sub)
                     total_stats.merge(stats)
                     hit = True
+                    if obs is not None:
+                        obs.record_tree_op("query", stats)
             if not hit:
                 # the system image still names this worker for a shard it
                 # no longer holds (e.g. restarted after a crash, restore
@@ -377,24 +434,35 @@ class Worker(Entity):
                 missing += 1
         self.queries_done += 1
         service = self.cost.query_time(total_stats)
-        self._submit(
-            service,
-            lambda: self.transport.send(
+
+        def reply() -> None:
+            if obs is not None:
+                obs.finish_span(span, searched=searched, missing=missing)
+            self.transport.send(
                 reply_to,
                 Message(
                     "query_result",
                     (token, agg.to_tuple(), searched, self.worker_id, missing),
                     sender=self,
                 ),
-            ),
-        )
+            )
+
+        self._submit(service, reply)
 
     # split (manager-initiated) ------------------------------------------
 
     def _on_split_shard(self, msg: Message) -> None:
         shard_id, new_low, new_high, reply_to = msg.payload
+        obs = self.transport.obs
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "worker.split", self.name, parent=msg.ctx, shard=shard_id
+            )
         store = self.shards.get(shard_id)
         if store is None or shard_id in self.frozen or len(store) < 2:
+            if obs is not None:
+                obs.finish_span(span, ok=False)
             self.transport.send(
                 reply_to,
                 Message("split_failed", (shard_id, self.worker_id), sender=self),
@@ -410,6 +478,8 @@ class Worker(Entity):
             self.frozen.discard(shard_id)
             self._drain_queue_into(shard_id, store)
             del self.queues[shard_id]
+            if obs is not None:
+                obs.finish_span(span, ok=False)
             self.transport.send(
                 reply_to,
                 Message("split_failed", (shard_id, self.worker_id), sender=self),
@@ -434,6 +504,8 @@ class Worker(Entity):
             self.zk.delete(f"/shards/{shard_id}")
             if self.checkpoints is not None:
                 self.checkpoints.drop(shard_id)  # parent id no longer exists
+            if obs is not None:
+                obs.finish_span(span, ok=True)
             self.transport.send(
                 reply_to,
                 Message(

@@ -167,6 +167,9 @@ class BaseTree(ShardStore):
         self.num_dims = schema.num_dims
         self.root = self._new_leaf()
         self._count = 0
+        #: optional TreeProfiler (see obs/profiler.py); ``None`` keeps
+        #: insert/query byte-identical to the unprofiled tree
+        self.profiler = None
 
     # subclasses override to pick their canonical defaults
     @staticmethod
@@ -214,6 +217,8 @@ class BaseTree(ShardStore):
         agg = Aggregate.empty()
         if self._count:
             self._query_node(self.root, box, agg, stats)
+        if self.profiler is not None:
+            self.profiler.record("query", stats)
         return agg, stats
 
     def _query_node(

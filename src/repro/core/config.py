@@ -82,6 +82,9 @@ class OpStats:
     items_scanned: int = 0
     agg_hits: int = 0
     splits: int = 0
+    #: batched-run overflows resolved by repacking leaves/directories
+    #: (Hilbert trees only; point inserts always split instead)
+    repacks: int = 0
     key_expansions: int = 0
 
     def merge(self, other: "OpStats") -> None:
@@ -90,6 +93,7 @@ class OpStats:
         self.items_scanned += other.items_scanned
         self.agg_hits += other.agg_hits
         self.splits += other.splits
+        self.repacks += other.repacks
         self.key_expansions += other.key_expansions
 
     @property

@@ -108,6 +108,8 @@ class InsertEngineTree(BaseTree):
                 anc.release()
             if tree_locked:
                 self._tree_lock.release()
+        if self.profiler is not None:
+            self.profiler.record("insert", stats)
         return stats
 
     def _propagate_splits(
@@ -166,8 +168,16 @@ class InsertEngineTree(BaseTree):
             return stats
         keys = self._hilbert_keys(batch.coords)
         if keys[0] is None:
-            for coords, measure in batch.iter_rows():
-                stats.merge(self.insert(coords, measure))
+            # per-record fallback: suppress per-insert profiling so the
+            # batch is recorded exactly once, as one batched operation
+            prof, self.profiler = self.profiler, None
+            try:
+                for coords, measure in batch.iter_rows():
+                    stats.merge(self.insert(coords, measure))
+            finally:
+                self.profiler = prof
+            if self.profiler is not None:
+                self.profiler.record("insert_batch", stats, rows=n)
             return stats
         order = sorted(range(n), key=keys.__getitem__)
         coords = np.asarray(batch.coords, dtype=np.int64)
@@ -175,6 +185,8 @@ class InsertEngineTree(BaseTree):
         pos = 0
         while pos < n:
             pos = self._insert_run(coords, measures, keys, order, pos, stats)
+        if self.profiler is not None:
+            self.profiler.record("insert_batch", stats, rows=n)
         return stats
 
     def _insert_run(
@@ -286,6 +298,7 @@ class InsertEngineTree(BaseTree):
         batch runs), whose ``_build_dir`` rebuilds directory nodes.
         """
         m = leaf.size + len(run_keys)
+        stats.repacks += 1
         all_coords = np.concatenate([leaf.leaf_coords(), run_coords])
         all_measures = np.concatenate([leaf.leaf_measures(), run_measures])
         all_keys = leaf.hkeys[: leaf.size] + run_keys

@@ -1,0 +1,88 @@
+"""Exporters: Prometheus-style text exposition and JSON-lines events.
+
+Two formats, both deterministic (families sorted by name, series by
+label key) so golden-file tests stay stable:
+
+* :func:`to_prometheus` -- the text exposition format scrape endpoints
+  serve (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket{le=...}``
+  histogram lines with ``_sum`` / ``_count``);
+* :func:`write_events_jsonl` -- one JSON object per line: every span of
+  a trace collector followed by one ``metrics_snapshot`` event, ready
+  for ``jq`` or a trace viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+__all__ = ["to_prometheus", "write_events_jsonl"]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus number formatting: integers bare, floats via repr."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry) -> str:
+    """Render a :class:`~repro.obs.metrics.MetricsRegistry` as text
+    exposition.  Deterministic: families by name, series by label key."""
+    lines: list[str] = []
+    for name in sorted(registry._families):
+        fam = registry._families[name]
+        if fam.help:
+            lines.append(f"# HELP {name} {fam.help}")
+        lines.append(f"# TYPE {name} {fam.kind}")
+        for key, inst in sorted(fam.series.items()):
+            if fam.kind in ("counter", "gauge"):
+                lines.append(f"{name}{_labels(key)} {_fmt(inst.value)}")
+                continue
+            # histogram: cumulative buckets, then sum and count
+            cum = 0
+            for le, c in zip(fam.buckets, inst.counts):
+                cum += c
+                pairs = key + (("le", _fmt(le)),)
+                lines.append(f"{name}_bucket{_labels(pairs)} {cum}")
+            cum += inst.counts[-1]
+            pairs = key + (("le", "+Inf"),)
+            lines.append(f"{name}_bucket{_labels(pairs)} {cum}")
+            lines.append(f"{name}_sum{_labels(key)} {_fmt(inst.sum)}")
+            lines.append(f"{name}_count{_labels(key)} {inst.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_events_jsonl(path, tracer=None, registry=None) -> int:
+    """Write span events (and a final metrics snapshot) as JSON lines.
+
+    Returns the number of lines written.  Either argument may be
+    ``None`` to export just the other.
+    """
+    n = 0
+    with open(path, "w") as fh:
+        if tracer is not None:
+            for span in tracer.spans:
+                rec = {"event": "span", **span.to_dict()}
+                fh.write(json.dumps(rec, sort_keys=True))
+                fh.write("\n")
+                n += 1
+        if registry is not None:
+            rec = {"event": "metrics_snapshot", "metrics": registry.snapshot()}
+            fh.write(json.dumps(rec, sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n

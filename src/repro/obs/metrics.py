@@ -1,0 +1,275 @@
+"""A metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Replaces the ad-hoc counter attributes that used to be scattered across
+``ClusterStats`` and the entities.  Instruments are *labelled*: asking
+for ``registry.counter("volap_ops_total", kind="insert")`` returns the
+per-label-set instance, creating it on first use.  Per-entity series
+are aggregated at :meth:`MetricsRegistry.snapshot` time, which also
+runs any registered *collectors* -- callbacks that pull values out of
+live objects (worker sizes, thread-pool backlog) right before the
+snapshot is taken.
+
+Registries are per-cluster objects with no module-level state: two
+sequential ``VOLAPCluster`` runs in one process report fully
+independent metrics (regression-tested).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: spans microseconds (simulated wire hops) to tens of virtual seconds
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: for small non-negative integer quantities (shards searched, retries)
+DEFAULT_COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (set at will)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, Prometheus-style).
+
+    ``buckets`` are inclusive upper bounds; an implicit ``+Inf`` bucket
+    catches the tail.  ``counts[i]`` is the number of observations
+    ``<= buckets[i]`` (non-cumulative per bucket internally; exported
+    cumulatively).
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]):
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket")
+        b = [float(x) for x in buckets]
+        if b != sorted(b):
+            raise ValueError("histogram buckets must be sorted")
+        self.buckets = b
+        self.counts = [0] * (len(b) + 1)  # last = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding
+        the ``q``-th observation (``inf`` if it lands in the overflow)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target and c:
+                return (
+                    self.buckets[i] if i < len(self.buckets) else float("inf")
+                )
+        return float("inf")
+
+    def merged(self, other: "Histogram") -> "Histogram":
+        if self.buckets != other.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        out = Histogram(self.buckets)
+        out.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        out.sum = self.sum + other.sum
+        out.count = self.count + other.count
+        return out
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Family:
+    """All series of one metric name (one per distinct label set)."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "series")
+
+    def __init__(self, name, kind, help_, buckets=None):
+        self.name = name
+        self.kind = kind  # "counter" | "gauge" | "histogram"
+        self.help = help_
+        self.buckets = buckets
+        self.series: dict[tuple, object] = {}
+
+    def get(self, labels: dict):
+        key = _label_key(labels)
+        inst = self.series.get(key)
+        if inst is None:
+            if self.kind == "counter":
+                inst = Counter()
+            elif self.kind == "gauge":
+                inst = Gauge()
+            else:
+                inst = Histogram(self.buckets)
+            self.series[key] = inst
+        return inst
+
+
+class MetricsRegistry:
+    """Named, labelled metric instruments plus snapshot-time collectors."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # -- instrument accessors (get-or-create) ------------------------------
+
+    def _family(self, name, kind, help_, buckets=None) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = _Family(name, kind, help_, buckets)
+            self._families[name] = fam
+        elif fam.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind}"
+            )
+        return fam
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._family(name, "counter", help).get(labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._family(name, "gauge", help).get(labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        help: str = "",
+        **labels,
+    ) -> Histogram:
+        fam = self._family(
+            name,
+            "histogram",
+            help,
+            tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS,
+        )
+        return fam.get(labels)
+
+    def register_collector(self, fn: Callable[[], None]) -> None:
+        """Register a callback run at the top of every :meth:`snapshot`;
+        it should ``set()`` gauges from live system state."""
+        self._collectors.append(fn)
+
+    # -- snapshot ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The documented snapshot schema (see docs/observability.md)::
+
+            {
+              "counters":   {name: {"total": v, "series": [{"labels": {...}, "value": v}]}},
+              "gauges":     {name: {"total": v, "series": [...]}},
+              "histograms": {name: {"count": n, "sum": s, "mean": m,
+                                    "p50": ..., "p95": ..., "p99": ...,
+                                    "buckets": [...],
+                                    "series": [{"labels": {...}, "count": n,
+                                                "sum": s, "mean": m,
+                                                "p50": ..., "p95": ...}]}},
+            }
+
+        Per-entity series are aggregated: ``total`` sums every label
+        set of a counter/gauge family, and a histogram family's
+        top-level stats merge every series.
+        """
+        for fn in self._collectors:
+            fn()
+        counters: dict = {}
+        gauges: dict = {}
+        histograms: dict = {}
+        for name in sorted(self._families):
+            fam = self._families[name]
+            series = sorted(fam.series.items())
+            if fam.kind in ("counter", "gauge"):
+                rows = [
+                    {"labels": dict(key), "value": inst.value}
+                    for key, inst in series
+                ]
+                out = {
+                    "total": sum(r["value"] for r in rows),
+                    "series": rows,
+                }
+                (counters if fam.kind == "counter" else gauges)[name] = out
+            else:
+                merged = Histogram(fam.buckets)
+                rows = []
+                for key, h in series:
+                    merged = merged.merged(h)
+                    rows.append(
+                        {
+                            "labels": dict(key),
+                            "count": h.count,
+                            "sum": h.sum,
+                            "mean": h.mean,
+                            "p50": h.quantile(0.5),
+                            "p95": h.quantile(0.95),
+                        }
+                    )
+                histograms[name] = {
+                    "count": merged.count,
+                    "sum": merged.sum,
+                    "mean": merged.mean,
+                    "p50": merged.quantile(0.5),
+                    "p95": merged.quantile(0.95),
+                    "p99": merged.quantile(0.99),
+                    "buckets": list(fam.buckets),
+                    "series": rows,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

@@ -9,7 +9,7 @@ range, so a query is geometrically a :class:`~repro.olap.keys.Box`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, Union
 
 import numpy as np
 
@@ -17,6 +17,10 @@ from .keys import Box
 from .schema import Schema
 
 __all__ = ["Query", "query_from_levels", "full_query"]
+
+#: a per-dimension constraint: hierarchy level (1-based depth or level
+#: name, matching ``Level.name`` in the ``Schema``) plus the prefix path
+Constraint = tuple[Union[int, str], Sequence[int]]
 
 
 @dataclass
@@ -40,24 +44,56 @@ class Query:
     def num_dims(self) -> int:
         return self.box.num_dims
 
+    @classmethod
+    def range(cls, schema: Schema, **constraints: Constraint) -> "Query":
+        """Build a query from keyword constraints, one per dimension.
+
+        Each keyword is a dimension name exactly as spelled in the
+        ``Schema``; its value is ``(level, path)`` where ``level`` is
+        either a hierarchy level *name* (``Level.name``) or a 1-based
+        depth, and ``path`` gives one local id per level down to (and
+        including) that level.  Unnamed dimensions are unconstrained.
+
+        >>> Query.range(schema, date=("month", (3, 11)))  # doctest: +SKIP
+        >>> Query.range(schema, date=(2, (3, 11)))        # equivalent
+        """
+        return query_from_levels(schema, constraints)
+
+
+def _resolve_depth(h, level: Union[int, str], dim: str) -> int:
+    """Map a level name (or pass through a 1-based depth) to a depth."""
+    if isinstance(level, str):
+        for i, lvl in enumerate(h.levels):
+            if lvl.name == level:
+                return i + 1
+        raise ValueError(
+            f"dimension {dim!r} has no level named {level!r}; "
+            f"levels are {[lvl.name for lvl in h.levels]}"
+        )
+    return int(level)
+
 
 def query_from_levels(
     schema: Schema,
-    constraints: Mapping[str, tuple[int, Sequence[int]]],
+    constraints: Mapping[str, Constraint],
 ) -> Query:
     """Build a query from per-dimension level constraints.
 
-    ``constraints`` maps dimension name to ``(depth, prefix_path)``: the
-    value at hierarchy depth ``depth`` (1 = coarsest level) whose subtree
-    should be aggregated.  Dimensions not present are unconstrained.
+    ``constraints`` maps dimension name (as spelled in the ``Schema``)
+    to ``(level, prefix_path)``: the value at hierarchy ``level`` --
+    a level name or a 1-based depth, as in :meth:`Query.range` -- whose
+    subtree should be aggregated.  Dimensions not present are
+    unconstrained.
 
     >>> q = query_from_levels(schema, {"date": (2, (3, 11))})  # doctest: +SKIP
+    >>> q = query_from_levels(schema, {"date": ("month", (3, 11))})  # same
     """
     lo = np.zeros(schema.num_dims, dtype=np.int64)
     hi = schema.leaf_limits.copy()
-    for name, (depth, path) in constraints.items():
+    for name, (level, path) in constraints.items():
         d = schema.index_of(name)
         h = schema.dimensions[d].hierarchy
+        depth = _resolve_depth(h, level, name)
         if not 1 <= depth <= h.num_levels:
             raise ValueError(
                 f"depth {depth} out of range for dimension {name!r}"

@@ -2,7 +2,7 @@
 exactly-once delivery of batched inserts under network faults.
 
 Batching changes only the framing: with the same seeded workload, a
-cluster running ``client_batch_size > 1`` must end with aggregates
+cluster running ``batch_size > 1`` must end with aggregates
 identical to the unbatched cluster (integer-valued measures make sums
 order-proof), the same completed-op and failure counts, and fewer
 messages on the wire.  Dropping or duplicating any of the new message
@@ -63,8 +63,8 @@ def run_cluster(schema, boot, stream, *, batch_size, faults=None, retry=None,
         num_workers=num_workers,
         num_servers=2,
         seed=5,
-        client_batch_size=batch_size,
-        client_batch_linger=5e-4,
+        batch_size=batch_size,
+        batch_linger=5e-4,
     )
     if retry is not None:
         kwargs["retry"] = retry
