@@ -1,0 +1,129 @@
+"""Query-path benchmark: per-query loop vs the batched engine.
+
+Measures wall-clock throughput of ``query`` (one call per box) against
+``query_batch`` (vectorized multi-box descent over the packed-key
+caches) on a bulk-loaded Hilbert PDC tree, both quiescent and while a
+writer thread races point inserts into the same (thread-safe) tree.
+Results land in ``BENCH_query.json`` at the repo root.
+
+Acceptance gate: batched throughput >= 3x the per-query loop at 10k
+point/range queries over 100k records.  ``BENCH_QUICK=1`` shrinks the
+run for CI smoke (the floor drops with it -- small trees amortize the
+per-call dispatch less).
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import HilbertPDCTree, TreeConfig
+from repro.olap.keys import Box
+from repro.workloads import TPCDSGenerator, tpcds_schema
+
+SCHEMA = tpcds_schema()
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+N_RECORDS = 20_000 if QUICK else 100_000
+N_QUERIES = 2_000 if QUICK else 10_000
+CHUNK = 1024  # boxes per query_batch call
+FLOOR = 2.0 if QUICK else 3.0
+
+
+def make_boxes(batch, n, seed=1):
+    """Half point queries on real rows, half random range boxes."""
+    rng = np.random.default_rng(seed)
+    limits = np.asarray(SCHEMA.leaf_limits, dtype=np.int64)
+    boxes = []
+    rows = rng.integers(0, len(batch), size=n // 2)
+    for r in rows:
+        boxes.append(Box.from_point(batch.coords[r]))
+    for _ in range(n - len(boxes)):
+        a = rng.integers(0, limits + 1)
+        b = rng.integers(0, limits + 1)
+        boxes.append(Box(np.minimum(a, b), np.maximum(a, b)))
+    return [boxes[i] for i in rng.permutation(len(boxes))]
+
+
+def time_single(tree, boxes):
+    t0 = time.perf_counter()
+    out = [tree.query(b) for b in boxes]
+    return time.perf_counter() - t0, out
+
+
+def time_batched(tree, boxes):
+    t0 = time.perf_counter()
+    out = []
+    for lo in range(0, len(boxes), CHUNK):
+        out.extend(tree.query_batch(boxes[lo : lo + CHUNK]))
+    return time.perf_counter() - t0, out
+
+
+def run_scenario(tree, boxes, writer_batch=None):
+    """Time both paths; optionally with a racing inserter thread."""
+    stop = threading.Event()
+    writer = None
+    if writer_batch is not None:
+
+        def insert_forever():
+            i = 0
+            n = len(writer_batch)
+            while not stop.is_set():
+                tree.insert(
+                    writer_batch.coords[i % n],
+                    float(writer_batch.measures[i % n]),
+                )
+                i += 1
+
+        writer = threading.Thread(target=insert_forever)
+        writer.start()
+    try:
+        single_s, single_out = time_single(tree, boxes)
+        batched_s, batched_out = time_batched(tree, boxes)
+    finally:
+        stop.set()
+        if writer is not None:
+            writer.join()
+    if writer_batch is None:
+        # quiescent: the batched engine must be bit-identical
+        for (sa, _), (ba, _) in zip(single_out, batched_out):
+            assert sa.to_tuple() == ba.to_tuple()
+    return {
+        "single_s": round(single_s, 3),
+        "batched_s": round(batched_s, 3),
+        "single_qps": round(len(boxes) / single_s),
+        "batched_qps": round(len(boxes) / batched_s),
+        "speedup": round(single_s / batched_s, 2),
+    }
+
+
+def test_batched_vs_single_queries():
+    data = TPCDSGenerator(SCHEMA, seed=0).batch(N_RECORDS)
+    boxes = make_boxes(data, N_QUERIES)
+
+    quiet_tree = HilbertPDCTree.from_batch(SCHEMA, data)
+    quiescent = run_scenario(quiet_tree, boxes)
+
+    racing_tree = HilbertPDCTree.from_batch(
+        SCHEMA, data, TreeConfig(thread_safe=True)
+    )
+    extra = TPCDSGenerator(SCHEMA, seed=7).batch(5_000)
+    concurrent = run_scenario(racing_tree, boxes, writer_batch=extra)
+
+    result = {
+        "records": N_RECORDS,
+        "queries": N_QUERIES,
+        "chunk": CHUNK,
+        "quick": QUICK,
+        "quiescent": quiescent,
+        "concurrent_inserts": concurrent,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_query.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print()
+    print(f"batched vs single queries: {json.dumps(result)}")
+    assert quiescent["speedup"] >= FLOOR, result

@@ -16,11 +16,13 @@ always released.  Workers deduplicate ``op_id``s, so retransmitted or
 fault-duplicated inserts apply exactly once.
 
 With ``batch_size > 1`` the session coalesces pending inserts into one
-``client_insert_batch`` message (flushed when the batch fills or after
-``batch_linger`` seconds, whichever is first).  Batching changes only
-the wire framing: every insert keeps its own ``op_id``, timer, and
-:class:`OpRecord`, and retransmits always go out as singleton
-``client_insert`` messages, so the retry/dedup machinery is untouched.
+``client_insert_batch`` message and pending queries into one
+``client_query_batch`` message (each buffer flushed when it fills or
+after ``batch_linger`` seconds, whichever is first).  Batching changes
+only the wire framing: every operation keeps its own ``op_id``, timer,
+and :class:`OpRecord`, and retransmits always go out as singleton
+``client_insert`` / ``client_query`` messages, so the retry/dedup
+machinery is untouched.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from ..workloads.streams import Operation
 from .faults import RetryPolicy
 from .stats import ClusterStats, OpRecord
 from .transport import Entity, Message, Transport
+from .wire import QUERY_ROW_WIRE_BYTES
 
 __all__ = ["ClientSession"]
 
@@ -86,6 +89,9 @@ class ClientSession(Entity):
         self._buffer: list[_PendingOp] = []
         self._flush_gen = 0
         self.batches_sent = 0
+        self._qbuffer: list[_PendingOp] = []
+        self._qflush_gen = 0
+        self.query_batches_sent = 0
         self.completed = 0
         self.retries = 0
         self.timeouts = 0
@@ -132,6 +138,20 @@ class ClientSession(Entity):
 
                 self.transport.clock.after(self.batch_linger, linger_fire)
             return
+        if not op.is_insert and self.batch_size > 1:
+            self._qbuffer.append(pending)
+            self._arm_timer(op_id, self.retry.timeout)
+            if len(self._qbuffer) >= self.batch_size:
+                self._flush_queries()
+            elif len(self._qbuffer) == 1:
+                gen = self._qflush_gen
+
+                def qlinger_fire() -> None:
+                    if self._qflush_gen == gen and self._qbuffer:
+                        self._flush_queries()
+
+                self.transport.clock.after(self.batch_linger, qlinger_fire)
+            return
         self._send(pending)
         self._arm_timer(op_id, self.retry.timeout)
 
@@ -161,13 +181,39 @@ class ClientSession(Entity):
             ),
         )
 
+    def _flush_queries(self) -> None:
+        """Ship the buffered queries as one ``client_query_batch``."""
+        if not self._qbuffer:
+            return
+        self._qflush_gen += 1
+        rows = [
+            (
+                p.op_id,
+                p.op.query,
+                p.span.ctx if p.span is not None else None,
+            )
+            for p in self._qbuffer
+        ]
+        self._qbuffer.clear()
+        self.query_batches_sent += 1
+        self.transport.send(
+            self.server,
+            Message(
+                "client_query_batch",
+                (rows, self),
+                size=QUERY_ROW_WIRE_BYTES * len(rows),
+                sender=self,
+            ),
+        )
+
     def _send(self, pending: _PendingOp) -> None:
         op = pending.op
-        for i, p in enumerate(self._buffer):
+        buffer = self._buffer if op.is_insert else self._qbuffer
+        for i, p in enumerate(buffer):
             # a retransmit raced the linger flush: this op now travels
             # alone, so it must not also go out with the batch
             if p is pending:
-                del self._buffer[i]
+                del buffer[i]
                 break
         ctx = pending.span.ctx if pending.span is not None else None
         if op.is_insert:

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.aggregates import Aggregate
 from ..core.config import TreeConfig
 from ..core.hilbert_trees import HilbertPDCTree
 from ..hilbert.id_expansion import HilbertKeyMapper
@@ -27,8 +28,9 @@ from .faults import CheckpointStore, FaultInjector, FaultPlan, RetryPolicy
 from .manager import BalancerPolicy, Manager
 from .server import Server
 from .simclock import SimClock
-from .stats import ClusterStats
+from .stats import ClusterStats, OpRecord
 from .transport import LatencyModel, Message, Transport
+from .wire import QUERY_ROW_WIRE_BYTES
 from .worker import Worker
 from .zookeeper import Zookeeper
 
@@ -399,6 +401,49 @@ class VOLAPCluster:
         server.sync_to_zookeeper()
         return self.clock.now - start
 
+    # -- batched queries ------------------------------------------------------
+
+    def query_batch(
+        self, queries, server_index: int = 0
+    ) -> list[tuple[Aggregate, float]]:
+        """Run ``queries`` as one batched wire round trip through a
+        server; returns ``(aggregate, achieved)`` per query in
+        submission order.
+
+        Each query keeps its own op id, server token, deadline, and
+        :class:`OpRecord` (so ``ClusterStats`` counts every logical
+        query once, exactly as on the singleton path); only the framing
+        is batched: one ``client_query_batch`` in, one ``query_batch``
+        per addressed worker, per-op ``query_done`` replies out.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        server = self.servers[server_index % len(self.servers)]
+        results: dict[int, tuple[Aggregate, float]] = {}
+        sink = _QuerySink(results, self.stats, self.clock)
+        # op ids live in a reserved pseudo-client space; replies route
+        # by entity, so they never collide with real sessions
+        rows = [
+            ((0xFFF << 24) | (i + 1), q, None) for i, q in enumerate(queries)
+        ]
+        self.transport.send(
+            server,
+            Message(
+                "client_query_batch",
+                (rows, sink),
+                size=QUERY_ROW_WIRE_BYTES * len(rows),
+            ),
+        )
+        guard = 0
+        while len(results) < len(queries):
+            if not self.clock.step():
+                break
+            guard += 1
+            if guard > 50_000_000:  # pragma: no cover - runaway guard
+                raise RuntimeError("query batch did not converge")
+        return [results[op_id] for op_id, _, _ in rows]
+
     # -- execution ------------------------------------------------------------
 
     def run_until(self, t: float) -> None:
@@ -426,6 +471,42 @@ class VOLAPCluster:
 
     def worker_sizes(self) -> dict[int, int]:
         return {wid: w.total_items() for wid, w in self.workers.items()}
+
+
+class _QuerySink:
+    """Collects ``query_done`` replies for :meth:`VOLAPCluster.query_batch`,
+    recording one ``OpRecord`` per logical query like a session would."""
+
+    name = "query-sink"
+
+    def __init__(
+        self,
+        results: dict[int, tuple[Aggregate, float]],
+        stats: ClusterStats,
+        clock: SimClock,
+    ):
+        self._results = results
+        self._stats = stats
+        self._clock = clock
+
+    def receive(self, msg: Message) -> None:
+        if msg.kind != "query_done":
+            return
+        op_id, submit_time, agg, searched, coverage, achieved = msg.payload
+        if op_id in self._results:
+            return  # duplicate reply (e.g. a late deadline partial)
+        self._results[op_id] = (agg, achieved)
+        self._stats.record_op(
+            OpRecord(
+                "query",
+                submit_time,
+                self._clock.now,
+                coverage=coverage,
+                shards_searched=searched,
+                result_count=agg.count,
+                achieved=achieved,
+            )
+        )
 
 
 class _BulkSink:

@@ -35,6 +35,10 @@ class CostModel:
     #: packing (the tree still does ordered-run descents and locked
     #: splices) but far below a full per-item dispatch
     batch_item: float = 30e-6
+    #: per query in a batched query message: the shared vectorized
+    #: descent amortizes dispatch and pruning, so each extra query
+    #: costs well below a full ``query_base`` dispatch
+    batch_query_item: float = 120e-6
     split_item: float = 4e-6  # per item when splitting a shard
     serialize_item: float = 1e-6
     deserialize_item: float = 2e-6
@@ -51,6 +55,16 @@ class CostModel:
 
     def query_time(self, stats: OpStats) -> float:
         return self.query_base + self.work_unit * stats.work
+
+    def query_batch_time(self, queries: int, stats: OpStats) -> float:
+        """Batched query execution: one base dispatch for the whole
+        batch, a per-query floor, plus the measured structural work of
+        the shared vectorized descent."""
+        return (
+            self.query_base
+            + self.batch_query_item * queries
+            + self.work_unit * stats.work
+        )
 
     def bulk_time(self, items: int) -> float:
         return self.insert_base + self.bulk_item * items

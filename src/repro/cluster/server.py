@@ -31,7 +31,7 @@ from .faults import RetryPolicy
 from .image import LocalImage, ShardInfo
 from .simclock import ServicePool, SimClock
 from .transport import Entity, Message, Transport
-from .wire import key_from_wire, key_to_wire
+from .wire import QUERY_ROW_WIRE_BYTES, key_from_wire, key_to_wire
 from .zookeeper import Zookeeper
 
 __all__ = ["Server"]
@@ -394,15 +394,111 @@ class Server(Entity):
             self.retry.query_deadline, lambda: self._query_deadline(token)
         )
 
+    def _on_client_query_batch(self, msg: Message) -> None:
+        """Batched queries: one pending query (with its own token,
+        deadline, and degraded-coverage accounting) per row, but the
+        fan-out is grouped -- all (box, shard-list) pairs bound for the
+        same worker travel in one ``query_batch`` message.  Replies are
+        per-op ``query_done`` messages, so ``ClusterStats`` records
+        each logical query exactly as on the singleton path."""
+        rows, reply_to = msg.payload
+        now = self.clock.now
+        obs = self.transport.obs
+        nodes = 0
+        finishes: list[_PendingQuery] = []
+        by_worker: dict[int, list[tuple]] = {}
+        for op_id, query, ctx in rows:
+            token = self._next_token()
+            span = None
+            if obs is not None:
+                span = obs.start_span(
+                    "server.route_query",
+                    self.name,
+                    parent=ctx,
+                    op_id=op_id,
+                    batched=True,
+                )
+            infos = self.image.search(query.box)
+            nodes += self.image.nodes_visited_last
+            self.queries_routed += 1
+            if not infos:
+                finishes.append(
+                    _PendingQuery(
+                        token, op_id, reply_to, now, Aggregate.empty(),
+                        0, query.coverage, {}, 0, span=span,
+                    )
+                )
+                continue
+            grouped: dict[int, list[int]] = {}
+            for info in infos:
+                grouped.setdefault(info.worker_id, []).append(info.shard_id)
+            pending = _PendingQuery(
+                token,
+                op_id,
+                reply_to,
+                now,
+                Aggregate.empty(),
+                0,
+                query.coverage,
+                {wid: len(sids) for wid, sids in grouped.items()},
+                len(infos),
+                span=span,
+            )
+            self._pending_queries[token] = pending
+            box_t = query.box.to_tuple()
+            sctx = span.ctx if span is not None else None
+            for worker_id, shard_ids in grouped.items():
+                by_worker.setdefault(worker_id, []).append(
+                    (token, shard_ids, box_t, sctx)
+                )
+            self.clock.after(
+                self.retry.query_deadline,
+                lambda token=token: self._query_deadline(token),
+            )
+        service = self.cost.route_time(nodes)
+
+        def fan_out() -> None:
+            for worker_id, entries in by_worker.items():
+                self.transport.send(
+                    self.workers[worker_id],
+                    Message(
+                        "query_batch",
+                        (entries, self),
+                        size=QUERY_ROW_WIRE_BYTES * len(entries),
+                        sender=self,
+                    ),
+                )
+            for pending in finishes:
+                self._finish_query(pending)
+
+        self.pool.submit(service, fan_out)
+
     def _on_query_result(self, msg: Message) -> None:
         token, agg_t, searched, worker_id, unresolved = msg.payload
+        self._apply_query_result(token, agg_t, searched, worker_id, unresolved)
+
+    def _on_query_result_batch(self, msg: Message) -> None:
+        """Per-op partial results from a batched worker execution."""
+        replies, worker_id = msg.payload
+        for token, agg_t, searched, missing in replies:
+            self._apply_query_result(token, agg_t, searched, worker_id, missing)
+
+    def _apply_query_result(
+        self,
+        token: int,
+        agg_t: tuple,
+        searched: int,
+        worker_id: int,
+        unresolved: int,
+    ) -> None:
         pending = self._pending_queries.get(token)
         if pending is None:
             return  # finished, or deadline already returned a partial
+        if pending.per_worker.pop(worker_id, None) is None:
+            return  # duplicated result: this worker already counted
         pending.agg.merge(Aggregate(*agg_t))
         pending.shards_searched += searched
         pending.unresolved += unresolved
-        pending.per_worker.pop(worker_id, None)
         if not pending.per_worker:
             del self._pending_queries[token]
             service = self.cost.merge_time(pending.shards_searched)

@@ -14,9 +14,21 @@ from typing import Union
 from ..olap.keys import Box
 from ..olap.mds import MDS
 
-__all__ = ["key_to_wire", "key_from_wire", "BoundingKey"]
+__all__ = [
+    "key_to_wire",
+    "key_from_wire",
+    "BoundingKey",
+    "QUERY_ROW_WIRE_BYTES",
+]
 
 BoundingKey = Union[Box, MDS]
+
+#: estimated wire size of one batched-query row -- a (token, shard ids,
+#: box bounds) tuple on the request side, or a (token, aggregate,
+#: searched, missing) tuple on the result side.  Shared by client,
+#: server, and worker so every query-batch message charges the same
+#: per-row transfer cost.
+QUERY_ROW_WIRE_BYTES = 48
 
 
 def key_to_wire(key: BoundingKey) -> tuple:

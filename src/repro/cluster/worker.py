@@ -25,13 +25,14 @@ from ..core.aggregates import Aggregate
 from ..core.base import Hyperplane, ShardStore
 from ..core.config import OpStats, TreeConfig
 from ..core.hilbert_trees import HilbertPDCTree
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS
 from ..olap.keys import Box
 from ..olap.records import RecordBatch, concat_batches
 from ..olap.schema import Schema
 from .cost import CostModel
 from .faults import CheckpointStore
 from .simclock import ServicePool, SimClock
-from .wire import key_to_wire
+from .wire import QUERY_ROW_WIRE_BYTES, key_to_wire
 from .transport import Entity, Message, Transport
 from .zookeeper import Zookeeper
 
@@ -189,10 +190,21 @@ class Worker(Entity):
         return shard_id
 
     def _resolve_query(self, shard_id: int) -> list[int]:
-        if shard_id in self.mapping:
-            _, low, high = self.mapping[shard_id]
-            return self._resolve_query(low) + self._resolve_query(high)
-        return [shard_id]
+        # iterative (stack pushes high then low, so leaves come out
+        # low-first, matching the old recursion): long split chains
+        # must not hit Python's recursion limit
+        out: list[int] = []
+        stack = [shard_id]
+        while stack:
+            sid = stack.pop()
+            entry = self.mapping.get(sid)
+            if entry is None:
+                out.append(sid)
+            else:
+                _, low, high = entry
+                stack.append(high)
+                stack.append(low)
+        return out
 
     # -- message handling ----------------------------------------------------
 
@@ -443,6 +455,102 @@ class Worker(Entity):
                 Message(
                     "query_result",
                     (token, agg.to_tuple(), searched, self.worker_id, missing),
+                    sender=self,
+                ),
+            )
+
+        self._submit(service, reply)
+
+    def _on_query_batch(self, msg: Message) -> None:
+        """Execute a server's batched query fan-out.
+
+        Each entry keeps its own token, requested shard list, box and
+        span context, and is resolved and answered with exactly the
+        singleton semantics (mapping-table resolution per shard, queue
+        lookups, missing shards reported per entry) -- only the
+        execution is grouped: every box addressed to one shard runs
+        through :meth:`ShardStore.query_batch` in a single vectorized
+        descent.  Per-entry merge order over its shards is preserved,
+        so each aggregate is bit-identical to the singleton path.
+        """
+        entries, reply_to = msg.payload
+        obs = self.transport.obs
+        batch_span = None
+        spans: list = []
+        if obs is not None:
+            batch_span = obs.start_span(
+                "worker.query_batch", self.name, queries=len(entries)
+            )
+            obs.registry.histogram(
+                "volap_query_batch_size",
+                help="queries per query_batch message",
+                buckets=DEFAULT_COUNT_BUCKETS,
+            ).observe(len(entries))
+        boxes: list[Box] = []
+        slots: list[list[tuple[int, bool]]] = []
+        searched = [0] * len(entries)
+        missing = [0] * len(entries)
+        # (shard id, is_queue) -> [(entry index, slot position)]
+        groups: dict[tuple[int, bool], list[tuple[int, int]]] = {}
+        for e, (token, shard_ids, box_t, ctx) in enumerate(entries):
+            if obs is not None:
+                spans.append(
+                    obs.start_span(
+                        "worker.query", self.name, parent=ctx, batched=True
+                    )
+                )
+            boxes.append(Box.from_tuple(box_t))
+            order: list[tuple[int, bool]] = []
+            for requested in shard_ids:
+                hit = False
+                for sid in self._resolve_query(requested):
+                    if sid in self.shards:
+                        order.append((sid, False))
+                        searched[e] += 1
+                        hit = True
+                    queue = self.queues.get(sid)
+                    if queue is not None and len(queue):
+                        order.append((sid, True))
+                        hit = True
+                if not hit:
+                    missing[e] += 1
+            slots.append(order)
+            for pos, gkey in enumerate(order):
+                groups.setdefault(gkey, []).append((e, pos))
+        results: dict[tuple[int, int], Aggregate] = {}
+        total_stats = OpStats()
+        for (sid, is_queue), members in groups.items():
+            store = self.queues[sid] if is_queue else self.shards[sid]
+            group_stats = OpStats()
+            res = store.query_batch([boxes[e] for e, _ in members])
+            for (e, pos), (sub, stats) in zip(members, res):
+                results[(e, pos)] = sub
+                group_stats.merge(stats)
+            total_stats.merge(group_stats)
+            if obs is not None:
+                obs.record_tree_op(
+                    "query_batch", group_stats, rows=len(members)
+                )
+        replies: list[tuple] = []
+        for e, (token, _sids, _box, _ctx) in enumerate(entries):
+            agg = Aggregate.empty()
+            for pos in range(len(slots[e])):
+                agg.merge(results[(e, pos)])
+            replies.append((token, agg.to_tuple(), searched[e], missing[e]))
+        self.queries_done += len(entries)
+        service = self.cost.query_batch_time(len(entries), total_stats)
+
+        def reply() -> None:
+            if obs is not None:
+                for e, s in enumerate(spans):
+                    obs.finish_span(s, searched=searched[e], missing=missing[e])
+                obs.finish_span(batch_span)
+            self.transport.send(
+                reply_to,
+                Message(
+                    "query_result_batch",
+                    (replies, self.worker_id),
+                    size=QUERY_ROW_WIRE_BYTES * len(replies),
                     sender=self,
                 ),
             )

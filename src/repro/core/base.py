@@ -14,7 +14,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from ..olap.keys import Box
+from ..olap.keys import Box, points_in_boxes
 from ..olap.records import RecordBatch
 from ..olap.schema import Schema
 from .aggregates import Aggregate
@@ -84,6 +84,17 @@ class ShardStore(ABC):
     @abstractmethod
     def query(self, box: Box) -> tuple[Aggregate, OpStats]:
         """Aggregate every item inside ``box``."""
+
+    def query_batch(
+        self, boxes: list[Box]
+    ) -> list[tuple[Aggregate, OpStats]]:
+        """Answer many boxes at once; one (Aggregate, OpStats) per box.
+
+        The default is a per-box loop; stores with a vectorized
+        multi-query path (the trees' packed-key batch engine) override
+        it.  Results must be identical to the per-box loop.
+        """
+        return [self.query(box) for box in boxes]
 
     @abstractmethod
     def items(self) -> RecordBatch:
@@ -216,39 +227,138 @@ class BaseTree(ShardStore):
         stats = OpStats()
         agg = Aggregate.empty()
         if self._count:
-            self._query_node(self.root, box, agg, stats)
+            # iterative preorder descent (explicit stack): deep split
+            # chains must not hit Python's recursion limit
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                stats.nodes_visited += 1
+                children: list[Node] = ()
+                node.acquire()
+                try:
+                    if self.config.cache_aggregates and self.policy.within_box(
+                        node.key, box
+                    ):
+                        agg.merge(node.agg)
+                        stats.agg_hits += 1
+                        continue
+                    if node.is_leaf:
+                        stats.leaves_visited += 1
+                        stats.items_scanned += node.size
+                        mask = box.contains_points(node.leaf_coords())
+                        if mask.any():
+                            agg.merge(
+                                Aggregate.of_array(node.leaf_measures()[mask])
+                            )
+                        continue
+                    children = [
+                        c
+                        for c in node.children
+                        if self.policy.intersects_box(c.key, box)
+                    ]
+                finally:
+                    node.release()
+                stack.extend(reversed(children))
         if self.profiler is not None:
             self.profiler.record("query", stats)
         return agg, stats
 
-    def _query_node(
-        self, node: Node, box: Box, agg: Aggregate, stats: OpStats
-    ) -> None:
-        stats.nodes_visited += 1
-        node.acquire()
-        try:
-            if self.config.cache_aggregates and self.policy.within_box(
-                node.key, box
-            ):
-                agg.merge(node.agg)
-                stats.agg_hits += 1
-                return
-            if node.is_leaf:
-                stats.leaves_visited += 1
-                stats.items_scanned += node.size
-                mask = box.contains_points(node.leaf_coords())
-                if mask.any():
-                    agg.merge(Aggregate.of_array(node.leaf_measures()[mask]))
-                return
-            children = [
-                c
-                for c in node.children
-                if self.policy.intersects_box(c.key, box)
+    def query_batch(
+        self, boxes: list[Box]
+    ) -> list[tuple[Aggregate, OpStats]]:
+        """Vectorized multi-query descent over the packed-key cache.
+
+        One iterative preorder walk carries, per node, the index array
+        of still-active query boxes.  Directory pruning evaluates all
+        (active box, child) pairs in a single broadcast against the
+        node's :meth:`~repro.core.node.Node.packed_children` snapshot,
+        and leaves test every surviving box against ``leaf_coords()``
+        in one fused comparison.  Cached-aggregate hits short-circuit
+        per box exactly like the singleton path; visit order, merge
+        order, and all work counters match :meth:`query` bit for bit
+        (differential-tested).
+        """
+        boxes = list(boxes)
+        k = len(boxes)
+        if k == 0:
+            return []
+        aggs = [Aggregate.empty() for _ in range(k)]
+        nv = np.zeros(k, dtype=np.int64)
+        lv = np.zeros(k, dtype=np.int64)
+        isc = np.zeros(k, dtype=np.int64)
+        ah = np.zeros(k, dtype=np.int64)
+        if self._count:
+            qlo = np.stack([b.lo for b in boxes])
+            qhi = np.stack([b.hi for b in boxes])
+            policy = self.policy
+            cache = self.config.cache_aggregates
+            stack: list[tuple[Node, np.ndarray]] = [
+                (self.root, np.arange(k))
             ]
-        finally:
-            node.release()
-        for child in children:
-            self._query_node(child, box, agg, stats)
+            while stack:
+                node, active = stack.pop()
+                nv[active] += 1
+                pushes: list[tuple[Node, np.ndarray]] = ()
+                node.acquire()
+                try:
+                    if cache:
+                        within = policy.within_box_many(
+                            node.key, qlo[active], qhi[active]
+                        )
+                        if within.any():
+                            hits = active[within]
+                            ah[hits] += 1
+                            node_agg = node.agg
+                            for i in hits:
+                                aggs[i].merge(node_agg)
+                            active = active[~within]
+                            if not active.size:
+                                continue
+                    if node.is_leaf:
+                        lv[active] += 1
+                        isc[active] += node.size
+                        inside = points_in_boxes(
+                            qlo[active], qhi[active], node.leaf_coords()
+                        )
+                        measures = node.leaf_measures()
+                        for j, i in enumerate(active):
+                            mask = inside[j]
+                            if mask.any():
+                                aggs[i].merge(
+                                    Aggregate.of_array(measures[mask])
+                                )
+                        continue
+                    packed = node.packed_children(policy, self.num_dims)
+                    hit = policy.intersects_many(
+                        packed, qlo[active], qhi[active]
+                    )
+                    children = node.children
+                    pushes = [
+                        (children[ci], active[hit[:, ci]])
+                        for ci in range(len(children))
+                        if hit[:, ci].any()
+                    ]
+                finally:
+                    node.release()
+                stack.extend(reversed(pushes))
+        results = [
+            (
+                aggs[i],
+                OpStats(
+                    nodes_visited=int(nv[i]),
+                    leaves_visited=int(lv[i]),
+                    items_scanned=int(isc[i]),
+                    agg_hits=int(ah[i]),
+                ),
+            )
+            for i in range(k)
+        ]
+        if self.profiler is not None:
+            total = OpStats()
+            for _, s in results:
+                total.merge(s)
+            self.profiler.record("query_batch", total, rows=k)
+        return results
 
     # -- enumeration -------------------------------------------------------
 
@@ -265,29 +375,42 @@ class BaseTree(ShardStore):
         )
 
     def _iter_leaves(self, node: Node) -> Iterator[Node]:
-        if node.is_leaf:
-            yield node
-        else:
-            for c in node.children:
-                yield from self._iter_leaves(c)
+        # iterative left-to-right walk (recursion-limit safe)
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n.is_leaf:
+                yield n
+            else:
+                stack.extend(reversed(n.children))
 
     # -- statistics ---------------------------------------------------------
 
     def depth(self) -> int:
+        # hand-over-hand locking: under thread_safe=True a concurrent
+        # split may swap children[0] mid-walk, so each hop is read
+        # under the parent's lock before the lock moves down
         d = 1
         node = self.root
+        node.acquire()
         while not node.is_leaf:
-            node = node.children[0]
+            child = node.children[0]
+            child.acquire()
+            node.release()
+            node = child
             d += 1
+        node.release()
         return d
 
     def node_count(self) -> int:
-        def rec(n: Node) -> int:
-            if n.is_leaf:
-                return 1
-            return 1 + sum(rec(c) for c in n.children)
-
-        return rec(self.root)
+        count = 0
+        stack = [self.root]
+        while stack:
+            n = stack.pop()
+            count += 1
+            if not n.is_leaf:
+                stack.extend(n.children)
+        return count
 
     # -- invariants (used by tests) ---------------------------------------
 
@@ -300,11 +423,30 @@ class BaseTree(ShardStore):
         also holds and is checked; with MDS keys it need not hold,
         because each node coalesces its interval set independently.
         """
-        total, _ = self._validate_node(self.root, is_root=True)
+        # iterative: collect nodes in preorder (parents first), then
+        # process in reverse so every child's (total, parts) is ready
+        # before its parent -- deep degenerate trees must not hit the
+        # recursion limit
+        order: list[Node] = []
+        stack: list[Node] = [self.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            if not node.is_leaf:
+                stack.extend(node.children)
+        results: dict[int, tuple[int, list[np.ndarray]]] = {}
+        for node in reversed(order):
+            results[id(node)] = self._validate_one(
+                node, results, is_root=node is self.root
+            )
+        total, _ = results[id(self.root)]
         assert total == self._count, f"count mismatch {total} != {self._count}"
 
-    def _validate_node(
-        self, node: Node, is_root: bool = False
+    def _validate_one(
+        self,
+        node: Node,
+        results: dict[int, tuple[int, list[np.ndarray]]],
+        is_root: bool = False,
     ) -> tuple[int, list[np.ndarray]]:
         if node.is_leaf:
             assert node.size <= self.config.leaf_capacity, "leaf over capacity"
@@ -324,7 +466,7 @@ class BaseTree(ShardStore):
         coords_parts: list[np.ndarray] = []
         agg = Aggregate.empty()
         for child in node.children:
-            n, parts = self._validate_node(child)
+            n, parts = results.pop(id(child))
             total += n
             coords_parts.extend(parts)
             agg.merge(child.agg)

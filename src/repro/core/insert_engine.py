@@ -88,6 +88,7 @@ class InsertEngineTree(BaseTree):
                         tree_locked = False
                 # Expand this node's key and aggregate for the new item.
                 if self.policy.expand_point(node.key, coords):
+                    node.key_version += 1
                     stats.key_expansions += 1
                 node.agg.add_value(measure)
                 if hkey is not None and (node.lhv is None or hkey > node.lhv):
@@ -257,6 +258,7 @@ class InsertEngineTree(BaseTree):
             run_agg = Aggregate.of_array(run_measures)
             for path_node, _ in held:
                 if self.policy.expand_points(path_node.key, run_coords):
+                    path_node.key_version += 1
                     stats.key_expansions += 1
                 path_node.agg.merge(run_agg)
                 if path_node.lhv is None or run_max > path_node.lhv:
@@ -266,6 +268,7 @@ class InsertEngineTree(BaseTree):
                 for j, i in enumerate(run):
                     node.append_item(run_coords[j], run_measures[j], keys[i])
                 if self.policy.expand_points(node.key, run_coords):
+                    node.key_version += 1
                     stats.key_expansions += 1
                 node.agg.merge(run_agg)
                 self._propagate_splits(node, held, stats)

@@ -12,8 +12,14 @@ from typing import Any, Iterable
 
 import numpy as np
 
-from ..olap.keys import Box
-from ..olap.mds import MDS
+from ..olap.keys import (
+    Box,
+    PackedKeys,
+    boxes_intersect_many,
+    pack_boxes,
+    packed_within_many,
+)
+from ..olap.mds import MDS, mds_intersect_many, pack_mds
 
 __all__ = ["KeyPolicy", "MBRPolicy", "MDSPolicy", "make_policy"]
 
@@ -83,6 +89,36 @@ class KeyPolicy:
     def copy(self, key: Any) -> Any:
         raise NotImplementedError
 
+    # -- vectorized many-query primitives (batch query engine) ----------
+
+    def pack_keys(self, keys: list[Any], num_dims: int) -> PackedKeys:
+        """Snapshot ``m`` keys as a :class:`PackedKeys` SoA for pruning."""
+        raise NotImplementedError
+
+    def intersects_many(
+        self, packed: PackedKeys, qlo: np.ndarray, qhi: np.ndarray
+    ) -> np.ndarray:
+        """``(k, m)`` mask equal to ``intersects_box(key, box)`` pairwise.
+
+        ``qlo``/``qhi`` are ``(k, d)`` stacked query-box bounds.
+        """
+        raise NotImplementedError
+
+    def within_many(
+        self, packed: PackedKeys, qlo: np.ndarray, qhi: np.ndarray
+    ) -> np.ndarray:
+        """``(k, m)`` mask equal to ``within_box(key, box)`` pairwise.
+
+        Shared across key kinds: containment only needs the MBR summary.
+        """
+        return packed_within_many(packed, qlo, qhi)
+
+    def within_box_many(
+        self, key: Any, qlo: np.ndarray, qhi: np.ndarray
+    ) -> np.ndarray:
+        """``(k,)`` mask: ``within_box(key, box_j)`` for one key, k boxes."""
+        raise NotImplementedError
+
 
 class MBRPolicy(KeyPolicy):
     """Single-interval-per-dimension keys (classic R-tree boxes)."""
@@ -132,6 +168,23 @@ class MBRPolicy(KeyPolicy):
 
     def copy(self, key: Box) -> Box:
         return key.copy()
+
+    def pack_keys(self, keys: list[Box], num_dims: int) -> PackedKeys:
+        return pack_boxes(keys, num_dims)
+
+    def intersects_many(
+        self, packed: PackedKeys, qlo: np.ndarray, qhi: np.ndarray
+    ) -> np.ndarray:
+        return boxes_intersect_many(packed, qlo, qhi)
+
+    def within_box_many(
+        self, key: Box, qlo: np.ndarray, qhi: np.ndarray
+    ) -> np.ndarray:
+        if key.is_empty():
+            return np.zeros(qlo.shape[0], dtype=bool)
+        return (
+            (qlo <= key.lo[None, :]) & (key.hi[None, :] <= qhi)
+        ).all(axis=1)
 
 
 class MDSPolicy(KeyPolicy):
@@ -187,6 +240,24 @@ class MDSPolicy(KeyPolicy):
 
     def copy(self, key: MDS) -> MDS:
         return key.copy()
+
+    def pack_keys(self, keys: list[MDS], num_dims: int) -> PackedKeys:
+        return pack_mds(keys, num_dims)
+
+    def intersects_many(
+        self, packed: PackedKeys, qlo: np.ndarray, qhi: np.ndarray
+    ) -> np.ndarray:
+        return mds_intersect_many(packed, qlo, qhi)
+
+    def within_box_many(
+        self, key: MDS, qlo: np.ndarray, qhi: np.ndarray
+    ) -> np.ndarray:
+        if key.is_empty():
+            return np.zeros(qlo.shape[0], dtype=bool)
+        # containment needs only the MBR summary of the interval union
+        lo = np.array([ivs[0][0] for ivs in key.intervals], dtype=np.int64)
+        hi = np.array([ivs[-1][1] for ivs in key.intervals], dtype=np.int64)
+        return ((qlo <= lo[None, :]) & (hi[None, :] <= qhi)).all(axis=1)
 
 
 def make_policy(key_kind: str, mds_max_intervals: int = 4) -> KeyPolicy:

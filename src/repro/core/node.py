@@ -8,7 +8,9 @@ children.  Every node carries:
 * ``agg`` -- the cached aggregate of the whole subtree;
 * ``lhv`` -- the largest Hilbert value in the subtree (Hilbert variants
   only; ``None`` in geometric trees);
-* ``lock`` -- an RLock when the tree is configured thread-safe.
+* ``lock`` -- an RLock when the tree is configured thread-safe;
+* ``key_version`` / ``packed`` -- the packed-key pruning cache for the
+  batch query engine (see :meth:`Node.packed_children`).
 
 Leaves in Hilbert trees additionally keep the per-item Hilbert keys
 (arbitrary-precision ints, so a plain Python list).
@@ -37,6 +39,8 @@ class Node:
         "size",
         "lhv",
         "lock",
+        "key_version",
+        "packed",
     )
 
     def __init__(
@@ -52,6 +56,11 @@ class Node:
         self.key = key
         self.agg = Aggregate.empty()
         self.lhv: Optional[int] = None
+        #: bumped on every in-place mutation of ``key``; lets a parent's
+        #: packed-key cache detect stale snapshots structurally
+        self.key_version = 0
+        #: (child objects, child key versions, PackedKeys) or None
+        self.packed = None
         self.lock: Optional[threading.RLock] = (
             threading.RLock() if thread_safe else None
         )
@@ -93,6 +102,34 @@ class Node:
             if self.lhv is None or hkey > self.lhv:
                 self.lhv = hkey
         self.size = i + 1
+
+    def packed_children(self, policy, num_dims: int):
+        """Packed SoA snapshot of this directory's child keys, cached.
+
+        Validity is structural, no explicit invalidation hook needed:
+        splits / repacks / bulk rebuilds always install *new* child
+        objects (checked by identity), and the only in-place child-key
+        mutations are the insert path's key expansions, which bump the
+        child's ``key_version``.  Callers must hold this node's lock so
+        the children list cannot change while the snapshot is read or
+        rebuilt.
+        """
+        children = self.children
+        cached = self.packed
+        if cached is not None:
+            old_children, old_versions, packed = cached
+            if len(old_children) == len(children) and all(
+                c is o and c.key_version == v
+                for c, o, v in zip(children, old_children, old_versions)
+            ):
+                return packed
+        packed = policy.pack_keys([c.key for c in children], num_dims)
+        self.packed = (
+            tuple(children),
+            tuple(c.key_version for c in children),
+            packed,
+        )
+        return packed
 
     def acquire(self) -> None:
         if self.lock is not None:

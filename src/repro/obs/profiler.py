@@ -27,7 +27,7 @@ __all__ = ["TreeOpProfile", "TreeProfiler"]
 class TreeOpProfile:
     """Work counters of one profiled tree operation."""
 
-    kind: str  # "insert" | "insert_batch" | "query"
+    kind: str  # "insert" | "insert_batch" | "query" | "query_batch"
     rows: int  # records inserted / 1 for queries
     nodes_visited: int
     leaves_visited: int

@@ -14,7 +14,9 @@ path      stage sequence (root first)
 insert    ``client.insert`` > ``server.route_insert`` >
           ``worker.apply_insert`` > ``tree.insert``
 query     ``client.query`` > ``server.route_query`` >
-          ``worker.query`` > ``tree.query`` (one per shard)
+          ``worker.query`` > ``tree.query`` (one per shard);
+          batched wire queries add one ``worker.query_batch``
+          span per ``query_batch`` message
 split     ``manager.split`` > ``worker.split``
 migrate   ``manager.migrate``
 restore   ``manager.restore``

@@ -19,7 +19,17 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Box", "point_box", "empty_like", "union_all"]
+__all__ = [
+    "Box",
+    "PackedKeys",
+    "point_box",
+    "empty_like",
+    "union_all",
+    "pack_boxes",
+    "boxes_intersect_many",
+    "packed_within_many",
+    "points_in_boxes",
+]
 
 
 class Box:
@@ -238,6 +248,106 @@ class Box:
             return f"Box.empty({self.num_dims})"
         pairs = ", ".join(f"[{l},{h}]" for l, h in zip(self.lo, self.hi))
         return f"Box({pairs})"
+
+
+class PackedKeys:
+    """Struct-of-arrays snapshot of ``m`` node keys for broadcast pruning.
+
+    ``lo``/``hi`` are the ``(m, d)`` MBR summaries of each key and
+    ``empty`` flags keys with no content; these three drive the shared
+    *within* test (a key lies inside a query box iff its MBR does).
+    MDS packs additionally carry the flattened per-dimension interval
+    unions: ``ilo``/``ihi`` are the ``(L,)`` interval bounds across all
+    keys and dimensions, ``dim_idx`` maps each interval to its
+    dimension, and ``offsets`` (length ``m * d + 1``) delimits the
+    ``(key, dim)`` segment boundaries for ``np.logical_or.reduceat``.
+    """
+
+    __slots__ = ("lo", "hi", "empty", "ilo", "ihi", "dim_idx", "offsets")
+
+    def __init__(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        empty: np.ndarray,
+        ilo: np.ndarray | None = None,
+        ihi: np.ndarray | None = None,
+        dim_idx: np.ndarray | None = None,
+        offsets: np.ndarray | None = None,
+    ):
+        self.lo = lo
+        self.hi = hi
+        self.empty = empty
+        self.ilo = ilo
+        self.ihi = ihi
+        self.dim_idx = dim_idx
+        self.offsets = offsets
+
+    @property
+    def num_keys(self) -> int:
+        return self.lo.shape[0]
+
+
+def pack_boxes(keys: Sequence[Box], num_dims: int) -> PackedKeys:
+    """Pack ``m`` Box keys into ``(m, d)`` lo/hi arrays plus empty flags."""
+    m = len(keys)
+    lo = np.empty((m, num_dims), dtype=np.int64)
+    hi = np.empty((m, num_dims), dtype=np.int64)
+    for i, k in enumerate(keys):
+        lo[i] = k.lo
+        hi[i] = k.hi
+    empty = (lo > hi).any(axis=1)
+    return PackedKeys(lo, hi, empty)
+
+
+def boxes_intersect_many(
+    packed: PackedKeys, qlo: np.ndarray, qhi: np.ndarray
+) -> np.ndarray:
+    """``(k, m)`` intersection mask of k query boxes vs m packed MBRs.
+
+    Matches :meth:`Box.intersects` exactly: empty keys and empty query
+    boxes intersect nothing.
+    """
+    hit = (
+        (packed.lo[None, :, :] <= qhi[:, None, :])
+        & (qlo[:, None, :] <= packed.hi[None, :, :])
+    ).all(axis=2)
+    hit &= ~packed.empty[None, :]
+    qempty = (qlo > qhi).any(axis=1)
+    hit &= ~qempty[:, None]
+    return hit
+
+
+def packed_within_many(
+    packed: PackedKeys, qlo: np.ndarray, qhi: np.ndarray
+) -> np.ndarray:
+    """``(k, m)`` mask: key i entirely inside query box j.
+
+    Works off the MBR summary, so it is exact for both key kinds (an
+    interval union lies inside a box iff its bounding box does).  Empty
+    keys are never "within" (mirrors the scalar policies, which gate on
+    ``not key.is_empty()``); an empty query box can never contain a
+    non-empty key, so no separate query mask is needed.
+    """
+    within = (
+        (qlo[:, None, :] <= packed.lo[None, :, :])
+        & (packed.hi[None, :, :] <= qhi[:, None, :])
+    ).all(axis=2)
+    within &= ~packed.empty[None, :]
+    return within
+
+
+def points_in_boxes(
+    qlo: np.ndarray, qhi: np.ndarray, coords: np.ndarray
+) -> np.ndarray:
+    """``(k, n)`` membership of n points in k boxes, one fused broadcast.
+
+    Row j equals ``Box(qlo[j], qhi[j]).contains_points(coords)``.
+    """
+    return (
+        (qlo[:, None, :] <= coords[None, :, :])
+        & (coords[None, :, :] <= qhi[:, None, :])
+    ).all(axis=2)
 
 
 def point_box(coords: Iterable[int]) -> Box:

@@ -24,9 +24,9 @@ from typing import Sequence
 
 import numpy as np
 
-from .keys import Box
+from .keys import Box, PackedKeys
 
-__all__ = ["MDS", "DEFAULT_MAX_INTERVALS"]
+__all__ = ["MDS", "DEFAULT_MAX_INTERVALS", "pack_mds", "mds_intersect_many"]
 
 DEFAULT_MAX_INTERVALS = 4
 
@@ -386,3 +386,78 @@ class MDS:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MDS({self.to_tuple()})"
+
+
+def pack_mds(keys: Sequence[MDS], num_dims: int) -> PackedKeys:
+    """Pack ``m`` MDS keys into a flattened interval-union snapshot.
+
+    The MBR summary (lo/hi/empty) feeds the shared within test; the
+    flattened ``ilo``/``ihi``/``dim_idx``/``offsets`` arrays drive the
+    exact per-interval intersection test.  A ``(key, dim)`` segment with
+    no intervals (only possible on empty keys) gets a dummy ``[0, -1]``
+    interval so every ``reduceat`` segment is non-empty; the dummy can
+    never match (lo > hi) and empty keys are masked out anyway.
+    """
+    m = len(keys)
+    lo = np.full((m, num_dims), np.iinfo(np.int64).max // 2, dtype=np.int64)
+    hi = np.full((m, num_dims), -1, dtype=np.int64)
+    empty = np.zeros(m, dtype=bool)
+    ilo: list[int] = []
+    ihi: list[int] = []
+    dim_idx: list[int] = []
+    offsets = np.empty(m * num_dims + 1, dtype=np.int64)
+    pos = 0
+    for i, key in enumerate(keys):
+        if key.is_empty():
+            empty[i] = True
+        for d in range(num_dims):
+            offsets[i * num_dims + d] = pos
+            ivs = key.intervals[d]
+            if ivs:
+                lo[i, d] = ivs[0][0]
+                hi[i, d] = ivs[-1][1]
+                for iv in ivs:
+                    ilo.append(iv[0])
+                    ihi.append(iv[1])
+                    dim_idx.append(d)
+                pos += len(ivs)
+            else:
+                ilo.append(0)
+                ihi.append(-1)
+                dim_idx.append(d)
+                pos += 1
+    offsets[m * num_dims] = pos
+    return PackedKeys(
+        lo,
+        hi,
+        empty,
+        np.array(ilo, dtype=np.int64),
+        np.array(ihi, dtype=np.int64),
+        np.array(dim_idx, dtype=np.int64),
+        offsets,
+    )
+
+
+def mds_intersect_many(
+    packed: PackedKeys, qlo: np.ndarray, qhi: np.ndarray
+) -> np.ndarray:
+    """``(k, m)`` intersection mask of k query boxes vs m packed MDS keys.
+
+    Matches :meth:`MDS.intersects_box` exactly: a key intersects a box
+    iff in *every* dimension *some* interval overlaps the box's range,
+    and empty keys / empty query boxes intersect nothing.
+    """
+    k = qlo.shape[0]
+    m = packed.empty.shape[0]
+    num_dims = qlo.shape[1]
+    # per (query, interval) overlap, then OR within each (key, dim)
+    # segment, then AND over dimensions
+    iv_hit = (packed.ilo[None, :] <= qhi[:, packed.dim_idx]) & (
+        qlo[:, packed.dim_idx] <= packed.ihi[None, :]
+    )
+    seg_hit = np.logical_or.reduceat(iv_hit, packed.offsets[:-1], axis=1)
+    hit = seg_hit.reshape(k, m, num_dims).all(axis=2)
+    hit &= ~packed.empty[None, :]
+    qempty = (qlo > qhi).any(axis=1)
+    hit &= ~qempty[:, None]
+    return hit

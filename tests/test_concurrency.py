@@ -81,9 +81,21 @@ def test_concurrent_inserts_and_queries(cls):
         except Exception as exc:  # pragma: no cover
             errors.append(exc)
 
-    threads = [threading.Thread(target=inserter)] + [
-        threading.Thread(target=querier) for _ in range(2)
-    ]
+    def depth_walker():
+        # depth() takes node locks hand-over-hand, so it must never
+        # crash or see an inconsistent chain while splits race it
+        try:
+            while not stop.is_set():
+                d = tree.depth()
+                assert 1 <= d <= 64, d
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = (
+        [threading.Thread(target=inserter)]
+        + [threading.Thread(target=querier) for _ in range(2)]
+        + [threading.Thread(target=depth_walker)]
+    )
     for t in threads:
         t.start()
     for t in threads:
@@ -95,6 +107,57 @@ def test_concurrent_inserts_and_queries(cls):
     assert all(0 <= c <= 600 for c in observed)
     final, _ = tree.query(box)
     assert final.count == 600
+
+
+@pytest.mark.parametrize("cls", THREADED)
+def test_query_batch_races_inserts(cls):
+    """The batched engine (packed-key caches and all) races inserts.
+
+    Measures are 1.0, so any per-box aggregate with ``total != count``
+    is a torn read; stale packed snapshots would also show up as lost
+    items in the final full-box batch."""
+    schema = make_schema([[8, 8], [8, 8]])
+    config = TreeConfig(leaf_capacity=8, fanout=4, thread_safe=True)
+    tree = cls(schema, config)
+    batch = random_batch(schema, 500, seed=91)
+    batch.measures[:] = 1.0
+    box = full_query(schema).box
+    boxes = [box] * 4
+    stop = threading.Event()
+    errors = []
+    torn = []
+
+    def inserter():
+        try:
+            for coords, m in batch.iter_rows():
+                tree.insert(coords, m)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def batch_querier():
+        try:
+            while not stop.is_set():
+                for agg, _ in tree.query_batch(boxes):
+                    if agg.total != agg.count:
+                        torn.append((agg.count, agg.total))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=inserter)] + [
+        threading.Thread(target=batch_querier) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert not torn
+    assert len(tree) == 500
+    tree.validate()
+    for agg, _ in tree.query_batch([box]):
+        assert agg.count == 500 and agg.total == 500.0
 
 
 def test_thread_safe_flag_creates_locks():

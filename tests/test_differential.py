@@ -48,14 +48,27 @@ def int_batch(schema, n, seed=0, clustered=False) -> RecordBatch:
 
 
 def assert_matches_oracle(store, oracle, boxes):
-    for box in boxes:
-        got, _ = store.query(box)
+    """Per-box queries AND the batched engine must both match the oracle.
+
+    ``query_batch`` is required to be *bit-identical* to the per-box
+    path: same aggregates (same merge order, so ``==`` on floats) and
+    the same ``OpStats`` (same nodes visited, same pruning decisions).
+    """
+    batched = store.query_batch(boxes)
+    assert len(batched) == len(boxes)
+    for box, (bagg, bstats) in zip(boxes, batched):
+        got, stats = store.query(box)
         want, _ = oracle.query(box)
         assert got.count == want.count
         assert got.total == want.total
         if want.count:
             assert got.vmin == want.vmin
             assert got.vmax == want.vmax
+        assert bagg.to_tuple() == got.to_tuple()
+        assert bstats.nodes_visited == stats.nodes_visited
+        assert bstats.leaves_visited == stats.leaves_visited
+        assert bstats.items_scanned == stats.items_scanned
+        assert bstats.agg_hits == stats.agg_hits
 
 
 @pytest.mark.parametrize("cls", ALL_TREES)
@@ -112,6 +125,56 @@ def test_insert_and_insert_batch_agree(cls):
         b, _ = batched.query(box)
         assert a.count == b.count
         assert a.total == b.total
+
+
+@pytest.mark.parametrize("cls", ALL_TREES)
+@pytest.mark.parametrize("thread_safe", [False, True])
+@pytest.mark.parametrize("chunk", [1, 7, 256])
+def test_query_batch_matches_per_box(cls, thread_safe, chunk):
+    """Batched == loop-of-``query`` == oracle, at every batch size.
+
+    The box set includes the degenerate cases the vectorized predicates
+    must get right: an empty box, the full domain, and exact point
+    boxes taken from inserted rows.
+    """
+    from repro.olap.keys import Box, point_box
+
+    schema = make_schema()
+    config = TreeConfig(leaf_capacity=16, fanout=8, thread_safe=thread_safe)
+    tree = cls(schema, config)
+    oracle = ArrayStore(schema)
+    data = int_batch(schema, 700, seed=17)
+    tree.insert_batch(data)
+    oracle.insert_batch(data)
+
+    boxes = random_boxes(schema, 40, seed=29)
+    boxes.append(Box.empty(schema.num_dims))
+    boxes.append(Box(np.zeros(schema.num_dims, dtype=np.int64), schema.leaf_limits))
+    boxes.extend(point_box(data.coords[i]) for i in (0, 133, 699))
+
+    for lo in range(0, len(boxes), chunk):
+        sub = boxes[lo : lo + chunk]
+        batched = tree.query_batch(sub)
+        oracle_batched = oracle.query_batch(sub)
+        for box, (bagg, bstats), (oagg, _) in zip(
+            boxes[lo:], batched, oracle_batched
+        ):
+            sagg, sstats = tree.query(box)
+            assert bagg.to_tuple() == sagg.to_tuple()
+            assert bagg.count == oagg.count
+            assert bagg.total == oagg.total
+            assert (
+                bstats.nodes_visited,
+                bstats.leaves_visited,
+                bstats.items_scanned,
+                bstats.agg_hits,
+            ) == (
+                sstats.nodes_visited,
+                sstats.leaves_visited,
+                sstats.items_scanned,
+                sstats.agg_hits,
+            )
+    assert tree.query_batch([]) == []
 
 
 def test_empty_and_single_batches():

@@ -16,10 +16,12 @@ import pytest
 from repro.cluster.cluster import ClusterConfig, VOLAPCluster
 from repro.cluster.faults import FaultPlan, RetryPolicy
 from repro.core.aggregates import Aggregate
+from repro.core.array_store import ArrayStore
 from repro.olap.keys import Box
+from repro.olap.query import Query
 from repro.workloads.streams import Operation
 
-from .conftest import make_schema, random_batch
+from .conftest import make_schema, random_batch, random_boxes
 
 
 def int_batch(schema, n, seed):
@@ -57,6 +59,10 @@ def cluster_aggregate(cluster, schema):
     return total
 
 
+def query_ops(boxes):
+    return [Operation("query", query=Query(b)) for b in boxes]
+
+
 def run_cluster(schema, boot, stream, *, batch_size, faults=None, retry=None,
                 concurrency=64, num_workers=3):
     kwargs = dict(
@@ -76,6 +82,35 @@ def run_cluster(schema, boot, stream, *, batch_size, faults=None, retry=None,
     sess.run_stream(insert_ops(stream))
     cluster.run_until_clients_done()
     return cluster, sess
+
+
+def run_query_cluster(schema, boot, boxes, *, batch_size, faults=None,
+                      retry=None, concurrency=32, num_workers=3,
+                      heartbeat_period=None, crash=None):
+    """Bootstrap static data, then drive a pure query stream."""
+    kwargs = dict(
+        num_workers=num_workers,
+        num_servers=2,
+        seed=5,
+        batch_size=batch_size,
+        batch_linger=5e-4,
+    )
+    if retry is not None:
+        kwargs["retry"] = retry
+    if heartbeat_period is not None:
+        kwargs["heartbeat_period"] = heartbeat_period
+    cluster = VOLAPCluster(schema, ClusterConfig(**kwargs))
+    cluster.bootstrap(boot, shards_per_worker=2)
+    if crash is not None:
+        cluster.crash_worker(crash)
+    if faults is not None:
+        cluster.inject_faults(faults)
+    recs = []
+    sess = cluster.session(concurrency=concurrency)
+    sess.on_complete = recs.append
+    sess.run_stream(query_ops(boxes))
+    cluster.run_until_clients_done(max_virtual=300.0)
+    return cluster, sess, recs
 
 
 class TestWireEquivalence:
@@ -157,3 +192,139 @@ class TestBatchingUnderFaults:
         else:
             assert cluster.transport.faults.duplicated > 0
             assert sum(w.dedup_hits for w in cluster.workers.values()) > 0
+
+
+QUERY_BATCH_KINDS = {
+    "client_query_batch",
+    "query_batch",
+    "query_result_batch",
+}
+
+
+def oracle_counts(schema, boot, boxes):
+    oracle = ArrayStore.from_batch(schema, boot, None)
+    return [oracle.query(b)[0].count for b in boxes]
+
+
+class TestQueryBatching:
+    def test_batched_equals_unbatched_queries(self):
+        """Same boxes over the same static data: batch_size=32 must
+        answer exactly like batch_size=1, with fewer wire messages."""
+        schema = make_schema()
+        boot = int_batch(schema, 1500, seed=1)
+        boxes = random_boxes(schema, 80, seed=9)
+        want = sorted(oracle_counts(schema, boot, boxes))
+
+        plain, sp, rp = run_query_cluster(schema, boot, boxes, batch_size=1)
+        batched, sb, rb = run_query_cluster(schema, boot, boxes, batch_size=32)
+        assert sp.completed == sb.completed == len(boxes)
+        assert plain.stats.failures == batched.stats.failures == 0
+        assert sp.query_batches_sent == 0
+        assert sb.query_batches_sent > 0
+        assert sorted(r.result_count for r in rp) == want
+        assert sorted(r.result_count for r in rb) == want
+        assert all(r.achieved == 1.0 for r in rb)
+        assert batched.transport.messages_sent < plain.transport.messages_sent
+
+    def test_cluster_query_batch_convenience(self):
+        """``VOLAPCluster.query_batch`` returns ordered, oracle-exact
+        results with full coverage."""
+        schema = make_schema()
+        boot = int_batch(schema, 1200, seed=2)
+        boxes = random_boxes(schema, 30, seed=11)
+        oracle = ArrayStore.from_batch(schema, boot, None)
+
+        cluster = VOLAPCluster(
+            schema,
+            ClusterConfig(num_workers=3, num_servers=2, seed=5,
+                          batch_size=16, batch_linger=5e-4),
+        )
+        cluster.bootstrap(boot)
+        results = cluster.query_batch([Query(b) for b in boxes])
+        assert len(results) == len(boxes)
+        for box, (agg, achieved) in zip(boxes, results):
+            want, _ = oracle.query(box)
+            assert agg.count == want.count
+            assert agg.total == want.total
+            assert achieved == 1.0
+
+    def test_ops_total_counts_logical_queries(self):
+        """Batched queries are recorded exactly like singletons: the
+        ``volap_ops_total`` query series grows by one per *logical*
+        query, not one per wire batch."""
+        schema = make_schema()
+        boot = int_batch(schema, 600, seed=3)
+        boxes = random_boxes(schema, 48, seed=13)
+        cluster, sess, recs = run_query_cluster(
+            schema, boot, boxes, batch_size=16
+        )
+        assert sess.completed == len(boxes)
+        assert sess.query_batches_sent < len(boxes)
+        snap = cluster.metrics.snapshot()
+        series = snap["counters"]["volap_ops_total"]["series"]
+        qcount = sum(
+            s["value"]
+            for s in series
+            if s["labels"].get("kind") == "query"
+            and s["labels"].get("ok") in ("true", "True")
+        )
+        assert qcount == len(boxes)
+        assert len(cluster.stats.select(kind="query")) == len(boxes)
+
+
+class TestQueryBatchingUnderFaults:
+    @pytest.mark.parametrize("action", ["drop", "duplicate"])
+    def test_faulted_query_batches_stay_exact(self, action):
+        """Dropping or duplicating any batched-query message kind must
+        neither lose a query (retransmits degrade to the singleton
+        path) nor skew a result (duplicate worker results are counted
+        once per token)."""
+        schema = make_schema()
+        boot = int_batch(schema, 900, seed=6)
+        boxes = random_boxes(schema, 60, seed=17)
+        want = sorted(oracle_counts(schema, boot, boxes))
+        plan = FaultPlan()
+        if action == "drop":
+            plan.drop(0.3, kinds=QUERY_BATCH_KINDS, end=0.5)
+        else:
+            plan.duplicate(0.5, kinds=QUERY_BATCH_KINDS, end=0.5)
+        retry = RetryPolicy(
+            timeout=0.2,
+            max_attempts=8,
+            insert_timeout=0.1,
+            max_insert_retries=8,
+            backoff_base=0.02,
+            backoff_jitter=0.005,
+        )
+        cluster, sess, recs = run_query_cluster(
+            schema, boot, boxes, batch_size=16, faults=plan, retry=retry
+        )
+        assert sess.completed == len(boxes)
+        assert cluster.stats.failures == 0
+        assert all(r.ok for r in recs)
+        assert sorted(r.result_count for r in recs) == want
+        if action == "drop":
+            assert cluster.transport.faults.dropped > 0
+        else:
+            assert cluster.transport.faults.duplicated > 0
+
+    def test_crashed_worker_degrades_batched_queries(self):
+        """With failover disabled and one worker down, batched queries
+        still answer within the deadline -- as degraded partials with
+        ``achieved < 1`` -- instead of hanging."""
+        schema = make_schema()
+        boot = int_batch(schema, 900, seed=8)
+        # full-domain boxes are guaranteed to fan out to every worker,
+        # including the dead one
+        boxes = [full_box(schema) for _ in range(12)]
+        retry = RetryPolicy(timeout=60.0, query_deadline=0.5)
+        cluster, sess, recs = run_query_cluster(
+            schema, boot, boxes, batch_size=8, retry=retry,
+            heartbeat_period=0, crash=0,
+        )
+        assert sess.completed == len(boxes)
+        assert all(r.ok for r in recs)
+        assert all(r.achieved < 1.0 for r in recs)
+        assert cluster.stats.degraded()
+        # the live workers' shards were still searched
+        assert all(r.shards_searched > 0 for r in recs)
