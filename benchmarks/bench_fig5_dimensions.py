@@ -15,8 +15,6 @@ effects the paper's C++ implementation sees (EXPERIMENTS.md discusses
 the divergence for the Hilbert R-tree baseline).
 """
 
-import numpy as np
-
 from repro.bench import render_table, run_fig5
 
 from conftest import run_once

@@ -3,9 +3,19 @@
 Two empty workers join at each load phase; the min/max items-per-worker
 band must close as the balancer migrates shards to them, with the
 cumulative migration counter stepping up at each phase.
+
+A second test replays the scale-up moment under each pluggable
+balancer policy (threshold / memory-pressure / cost-driven; see
+docs/protocols.md, "Shard lifecycle") and writes the per-policy
+worker-size gaps and maintenance-op counts to ``BENCH_balance.json``.
+``BENCH_QUICK=1`` shrinks the comparison run for CI smoke.
 """
 
-from repro.bench import render_series, run_fig6_fig7
+import json
+import os
+from pathlib import Path
+
+from repro.bench import render_series, render_table, run_fig6_fig7, run_policy_comparison
 
 from conftest import run_once
 
@@ -16,6 +26,15 @@ PARAMS = dict(
     items_per_worker=5000,
     bench_inserts=300,
     bench_queries_per_bin=45,
+)
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+POLICY_PARAMS = dict(
+    workers=3 if QUICK else 4,
+    new_workers=1 if QUICK else 2,
+    items_per_worker=1500 if QUICK else 4000,
+    settle=12.0 if QUICK else 25.0,
 )
 
 
@@ -64,3 +83,47 @@ def test_fig6_load_balance(benchmark, shared_cache):
     migs = [m for *_, m in rows]
     assert migs == sorted(migs)
     assert migs[-1] == result.migrations
+
+
+def test_balancer_policy_comparison(benchmark):
+    rows = run_once(benchmark, run_policy_comparison, **POLICY_PARAMS)
+
+    print()
+    print(
+        render_table(
+            "Balancer policies on the Fig 6 scale-up moment",
+            ["policy", "peak gap", "final gap", "splits", "migrations"],
+            [
+                (r.policy, r.peak_gap, r.final_gap, r.splits, r.migrations)
+                for r in rows
+            ],
+        )
+    )
+
+    by_name = {r.policy: r for r in rows}
+    assert set(by_name) == {"threshold", "memory_pressure", "cost_driven"}
+    for r in rows:
+        # every policy must react to the empty joiners and close the band
+        assert r.migrations > 0, f"{r.policy} never migrated"
+        assert r.final_gap < r.peak_gap, (
+            f"{r.policy} left the band open: "
+            f"final {r.final_gap} vs peak {r.peak_gap}"
+        )
+
+    result = {
+        "params": POLICY_PARAMS,
+        "quick": QUICK,
+        "policies": {
+            r.policy: {
+                "peak_gap": r.peak_gap,
+                "final_gap": r.final_gap,
+                "splits": r.splits,
+                "migrations": r.migrations,
+                "moves": r.moves,
+            }
+            for r in rows
+        },
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_balance.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"policy comparison: {json.dumps(result['policies'])}")

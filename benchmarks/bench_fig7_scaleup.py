@@ -11,8 +11,7 @@ import numpy as np
 
 from repro.bench import render_table
 
-from conftest import run_once
-from bench_fig6_load_balance import PARAMS, _get_result
+from bench_fig6_load_balance import _get_result
 
 
 def test_fig7_scaleup(benchmark, shared_cache):

@@ -11,8 +11,6 @@ crossed with low/medium/high coverage queries.  Asserted shapes:
   keep large aggregations from scanning the database.
 """
 
-import numpy as np
-
 from repro.bench import render_table, run_fig8
 
 from conftest import run_once

@@ -11,7 +11,6 @@ import os
 import time
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.core import HilbertPDCTree, PDCTree

@@ -19,7 +19,6 @@ from repro import TPCDSGenerator, tpcds_schema
 from repro.cluster import ClusterConfig, VOLAPCluster
 from repro.freshness import LatencyDistribution, PBSSimulator
 from repro.workloads import QueryGenerator, StreamGenerator
-from repro.workloads.streams import Operation
 
 
 def measure_insert_latencies(schema) -> list[float]:

@@ -11,11 +11,9 @@ the stream flows.
 Run:  python examples/retail_dashboard.py
 """
 
-import numpy as np
-
 from repro import TPCDSGenerator, tpcds_schema
 from repro.cluster import ClusterConfig, VOLAPCluster
-from repro.olap.query import Query, full_query, query_from_levels
+from repro.olap.query import full_query, query_from_levels
 from repro.workloads.streams import Operation
 
 

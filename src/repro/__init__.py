@@ -31,8 +31,11 @@ from .core import (
 from .cluster import (
     BalancerPolicy,
     ClusterConfig,
+    CostDrivenPolicy,
     CostModel,
     LatencyModel,
+    MemoryPressurePolicy,
+    ThresholdPolicy,
     VOLAPCluster,
 )
 from .freshness import LatencyDistribution, PBSSimulator
@@ -68,6 +71,7 @@ __all__ = [
     "Box",
     "ClusterConfig",
     "CompactHilbertCurve",
+    "CostDrivenPolicy",
     "CostModel",
     "Dimension",
     "Hierarchy",
@@ -79,6 +83,7 @@ __all__ = [
     "LatencyModel",
     "Level",
     "MDS",
+    "MemoryPressurePolicy",
     "MetricsRegistry",
     "Observability",
     "OpStats",
@@ -91,6 +96,7 @@ __all__ = [
     "Schema",
     "StreamGenerator",
     "TPCDSGenerator",
+    "ThresholdPolicy",
     "TreeConfig",
     "TreeProfiler",
     "VOLAPCluster",

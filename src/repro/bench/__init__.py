@@ -3,6 +3,7 @@
 from .fig_cluster import (
     HeadlineResult,
     MixCell,
+    PolicyComparisonRow,
     ScaleUpPhase,
     ScaleUpResult,
     run_fig6_fig7,
@@ -10,6 +11,7 @@ from .fig_cluster import (
     run_image_key_ablation,
     run_fig9,
     run_headline,
+    run_policy_comparison,
 )
 from .fig_freshness import Fig10Result, run_fig10, run_sync_period_ablation
 from .fig_tree import (
@@ -30,6 +32,7 @@ __all__ = [
     "Fig5Row",
     "HeadlineResult",
     "MixCell",
+    "PolicyComparisonRow",
     "ScaleUpPhase",
     "ScaleUpResult",
     "render_series",
@@ -43,6 +46,7 @@ __all__ = [
     "run_fig9",
     "run_headline",
     "run_id_expansion_ablation",
+    "run_policy_comparison",
     "run_image_key_ablation",
     "run_insert_policy_ablation",
     "run_split_ablation",

@@ -14,7 +14,14 @@ from typing import Sequence
 
 import numpy as np
 
-from ..cluster import BalancerPolicy, ClusterConfig, VOLAPCluster
+from ..cluster import (
+    BalancerPolicy,
+    ClusterConfig,
+    CostDrivenPolicy,
+    MemoryPressurePolicy,
+    ThresholdPolicy,
+    VOLAPCluster,
+)
 from ..core import TreeConfig
 from ..olap.schema import Schema
 from ..workloads.querygen import PAPER_BIN_NAMES, PAPER_BINS, QueryGenerator
@@ -25,10 +32,12 @@ __all__ = [
     "ScaleUpPhase",
     "run_image_key_ablation",
     "MixCell",
+    "PolicyComparisonRow",
     "run_fig6_fig7",
     "run_fig8",
     "run_fig9",
     "run_headline",
+    "run_policy_comparison",
 ]
 
 
@@ -184,6 +193,96 @@ def run_fig6_fig7(
         splits=cluster.stats.splits,
         migrations=cluster.stats.migrations,
     )
+
+
+# ---------------------------------------------------------------------------
+# Balancer policy comparison (Fig 6 scenario, three policies)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PolicyComparisonRow:
+    """How one balancer policy handled the Fig 6 scale-up scenario."""
+
+    policy: str
+    #: widest min/max items-per-worker gap observed (right after the
+    #: empty workers joined)
+    peak_gap: int
+    #: gap after the settle window -- how well the policy closed the band
+    final_gap: int
+    splits: int
+    migrations: int
+
+    @property
+    def moves(self) -> int:
+        """Total maintenance ops spent (splits + migrations)."""
+        return self.splits + self.migrations
+
+
+def run_policy_comparison(
+    workers: int = 4,
+    new_workers: int = 2,
+    items_per_worker: int = 4000,
+    settle: float = 25.0,
+    seed: int = 5,
+) -> list[PolicyComparisonRow]:
+    """Run the Fig 6 elastic scale-up moment under each balancer policy.
+
+    Same scenario for all three: ``workers`` loaded workers, then
+    ``new_workers`` empty ones join and the policy gets ``settle``
+    virtual seconds to react.  Rows report the worker-size band (peak
+    and final min/max gap) and the cumulative maintenance ops spent
+    closing it -- threshold chases the tightest band, memory-pressure
+    only acts on capacity hazards, cost-driven spends a bounded budget
+    per scan."""
+    schema = tpcds_schema()
+    shared = dict(
+        max_shard_items=int(items_per_worker * 0.9),
+        imbalance_ratio=1.3,
+        min_migrate_items=200,
+        scan_period=0.5,
+    )
+    policies = [
+        ("threshold", ThresholdPolicy(**shared)),
+        (
+            "memory_pressure",
+            # capacity pegged to the loaded phase so the stayers sit
+            # above the high watermark once the cluster has grown
+            MemoryPressurePolicy(
+                worker_capacity_items=items_per_worker, **shared
+            ),
+        ),
+        ("cost_driven", CostDrivenPolicy(**shared)),
+    ]
+    rows: list[PolicyComparisonRow] = []
+    for name, policy in policies:
+        gen = TPCDSGenerator(schema, seed=seed)
+        cfg = ClusterConfig(
+            num_workers=workers,
+            num_servers=1,
+            tree_config=_default_tree_config(),
+            balancer=policy,
+            seed=seed,
+        )
+        cluster = VOLAPCluster(schema, cfg)
+        cluster.bootstrap(
+            gen.batch(workers * items_per_worker), shards_per_worker=3
+        )
+        cluster.run_for(2.0)  # settle the bootstrap before the event
+        cluster.add_workers(new_workers)
+        cluster.run_for(settle)
+        series = cluster.stats.balance_series()
+        gaps = [hi - lo for _, lo, hi, _ in series]
+        rows.append(
+            PolicyComparisonRow(
+                policy=name,
+                peak_gap=max(gaps) if gaps else 0,
+                final_gap=gaps[-1] if gaps else 0,
+                splits=cluster.stats.splits,
+                migrations=cluster.stats.migrations,
+            )
+        )
+    return rows
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,16 @@
 """The distributed VOLAP system (simulated substrate; see DESIGN.md)."""
 
 from ..obs import MetricsRegistry, Observability
+from .balancer import (
+    BalancerPolicy,
+    CostDrivenPolicy,
+    MemoryPressurePolicy,
+    MigrateAction,
+    PlanAction,
+    SplitAction,
+    ThresholdPolicy,
+    WorkerView,
+)
 from .client import ClientSession
 from .cluster import ClusterConfig, VOLAPCluster
 from .cost import CostModel
@@ -12,18 +22,29 @@ from .faults import (
     RetryPolicy,
 )
 from .image import LocalImage, ShardInfo
-from .manager import BalancerPolicy, Manager
+from .lifecycle import ShardOp, ShardOpMachine
+from .manager import Manager
 from .server import Server
 from .simclock import ServicePool, SimClock
 from .stats import ClusterStats, OpRecord
 from .transport import Entity, LatencyModel, Message, Transport
 from .wire import key_from_wire, key_to_wire
-from .worker import Worker
+from .worker import ShardTransfer, Worker
 from .zookeeper import Zookeeper
 
 __all__ = [
     "BalancerPolicy",
     "CheckpointStore",
+    "CostDrivenPolicy",
+    "MemoryPressurePolicy",
+    "MigrateAction",
+    "PlanAction",
+    "ShardOp",
+    "ShardOpMachine",
+    "ShardTransfer",
+    "SplitAction",
+    "ThresholdPolicy",
+    "WorkerView",
     "ClientSession",
     "ClusterConfig",
     "ClusterStats",

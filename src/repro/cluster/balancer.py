@@ -1,0 +1,344 @@
+"""Pluggable load-balancing policies (paper Section III-E).
+
+The manager's periodic scan separates *deciding* from *doing*: it
+snapshots per-worker state out of Zookeeper into a :class:`WorkerView`,
+asks its policy's :meth:`BalancerPolicy.plan` for a list of
+:class:`PlanAction` rows, and executes them through the shard-op
+lifecycle machine.  ``plan`` is a **pure function** of the view -- no
+clock, no transport, no Zookeeper -- so every policy is unit-testable
+without instantiating the simulator.
+
+Three policies ship:
+
+* :class:`ThresholdPolicy` (the default; ``BalancerPolicy`` itself
+  keeps the same greedy behaviour for backward compatibility): split
+  any shard above ``max_shard_items``; while the most loaded worker
+  exceeds ``imbalance_ratio`` times the least loaded, migrate the
+  largest shard that fits half the gap, splitting when nothing fits
+  (paper III-E: "a shard can also be split if the load balancer
+  requires smaller shards for migration").
+* :class:`MemoryPressurePolicy`: the paper's framing -- "the manager
+  may identify a worker that is overloaded and about to run out of
+  memory".  Workers have an item capacity; any worker above the high
+  watermark sheds shards to the least-pressured worker until it
+  projects below the low watermark.
+* :class:`CostDrivenPolicy`: threshold-shaped decisions, but each scan
+  budgets the virtual seconds of off-hot-path work (serialize +
+  deserialize, :meth:`~repro.cluster.cost.CostModel.migrate_time`) that
+  migrations may consume, and picks the moves with the best
+  items-moved-per-second ratio first -- bounded maintenance work, so
+  reorganisation never starves ingestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Union
+
+from .cost import CostModel
+
+__all__ = [
+    "SplitAction",
+    "MigrateAction",
+    "PlanAction",
+    "WorkerView",
+    "BalancerPolicy",
+    "ThresholdPolicy",
+    "MemoryPressurePolicy",
+    "CostDrivenPolicy",
+]
+
+
+@dataclass(frozen=True)
+class SplitAction:
+    """Split ``shard_id`` in place on ``worker_id``."""
+
+    worker_id: int
+    shard_id: int
+    kind: ClassVar[str] = "split"
+
+
+@dataclass(frozen=True)
+class MigrateAction:
+    """Move ``shard_id`` from worker ``src`` to worker ``dst``."""
+
+    src: int
+    dst: int
+    shard_id: int
+    kind: ClassVar[str] = "migrate"
+
+
+PlanAction = Union[SplitAction, MigrateAction]
+
+
+@dataclass(frozen=True)
+class WorkerView:
+    """Pure snapshot of cluster state a policy plans against.
+
+    Dict iteration order is meaningful (it is the manager's worker
+    registration order) and ties in size comparisons resolve to the
+    first worker in that order, exactly as the pre-refactor greedy
+    scan did.
+    """
+
+    #: worker id -> total stored items (shards + insertion queues)
+    sizes: dict
+    #: worker id -> {shard id -> item count}
+    shards: dict
+    #: shard ids with an in-flight lifecycle op (never planned again)
+    busy: frozenset = frozenset()
+    #: remaining split+migration admission slots this scan
+    budget: int = 1
+
+    @classmethod
+    def from_stats(cls, state: dict, busy, budget: int) -> "WorkerView":
+        """Build a view from the ``/stats/workers/*`` znode payloads."""
+        return cls(
+            sizes={wid: d.get("items", 0) for wid, d in state.items()},
+            shards={wid: dict(d.get("shards", {})) for wid, d in state.items()},
+            busy=frozenset(busy),
+            budget=budget,
+        )
+
+
+@dataclass(frozen=True)
+class BalancerPolicy:
+    """Strategy interface plus the knobs every policy shares.
+
+    Subclasses override :meth:`plan`.  The base class implements the
+    classic threshold-greedy behaviour so existing code constructing
+    ``BalancerPolicy(...)`` directly keeps working bit-for-bit;
+    :class:`ThresholdPolicy` is the explicit name for that default.
+    """
+
+    #: split any shard above this size
+    max_shard_items: int = 8000
+    #: migrate when max worker load exceeds this multiple of the min
+    imbalance_ratio: float = 1.4
+    #: never migrate shards smaller than this
+    min_migrate_items: int = 200
+    #: manager scan period (virtual seconds)
+    scan_period: float = 1.0
+    #: in-flight budget for splits + migrations
+    max_inflight: int = 4
+    #: in-flight budget for failover restores (separate pool, so a mass
+    #: failover cannot stampede one survivor with deserialize work)
+    max_inflight_restores: int = 8
+    #: give up on a split/migration/restore that produced no reply
+    #: (e.g. the destination died mid-transfer) after this many virtual
+    #: seconds
+    op_timeout: float = 10.0
+
+    # -- strategy ---------------------------------------------------------
+
+    def plan(self, view: WorkerView) -> list:
+        """Return the actions to start this scan (pure, in order)."""
+        return self._plan_threshold(view)
+
+    # -- shared building blocks -------------------------------------------
+
+    def _plan_oversize_splits(self, view, actions, busy, budget) -> int:
+        """Split every non-busy shard above ``max_shard_items``."""
+        for wid, shard_sizes in view.shards.items():
+            for sid, size in shard_sizes.items():
+                if size > self.max_shard_items and sid not in busy and budget > 0:
+                    actions.append(SplitAction(wid, sid))
+                    busy.add(sid)
+                    budget -= 1
+        return budget
+
+    def _split_for_migration(self, shards_of_src, src, busy, actions) -> None:
+        """No movable shard fits: split the largest splittable one so
+        the next scan has migratable pieces (paper III-E)."""
+        splittable = [
+            (size, sid)
+            for sid, size in shards_of_src.items()
+            if sid not in busy and size >= 2 * self.min_migrate_items
+        ]
+        if splittable:
+            _, sid = max(splittable)
+            actions.append(SplitAction(src, sid))
+
+    def _plan_threshold(self, view: WorkerView) -> list:
+        actions: list = []
+        budget = view.budget
+        if budget <= 0 or not view.sizes:
+            return actions
+        busy = set(view.busy)
+        budget = self._plan_oversize_splits(view, actions, busy, budget)
+        if budget <= 0 or len(view.sizes) < 2:
+            return actions
+        # migrations, planned against projected sizes so several moves
+        # per scan converge instead of overshooting
+        sizes = dict(view.sizes)
+        shards = {wid: dict(s) for wid, s in view.shards.items()}
+        while budget > 0:
+            src = max(sizes, key=sizes.get)
+            dst = min(sizes, key=sizes.get)
+            if src == dst:
+                break
+            if sizes[src] <= self.imbalance_ratio * max(
+                sizes[dst], self.min_migrate_items
+            ):
+                break
+            # move the largest shard that keeps dst below src
+            gap = (sizes[src] - sizes[dst]) / 2
+            candidates = [
+                (size, sid)
+                for sid, size in shards[src].items()
+                if sid not in busy
+                and self.min_migrate_items <= size <= gap
+            ]
+            if not candidates:
+                self._split_for_migration(shards[src], src, busy, actions)
+                break
+            size, sid = max(candidates)
+            actions.append(MigrateAction(src, dst, sid))
+            busy.add(sid)
+            budget -= 1
+            sizes[src] -= size
+            sizes[dst] += size
+            del shards[src][sid]
+            shards[dst][sid] = size
+        return actions
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy(BalancerPolicy):
+    """The default greedy policy (explicit name for the base behaviour):
+    size-threshold splits plus imbalance-ratio-driven migrations."""
+
+
+@dataclass(frozen=True)
+class MemoryPressurePolicy(BalancerPolicy):
+    """The paper's memory-pressure policy: act when a worker is
+    "overloaded and about to run out of memory".
+
+    Each worker has an item capacity.  A worker whose utilisation
+    exceeds ``high_watermark`` sheds shards to the least-utilised
+    worker until its projected utilisation is back below
+    ``low_watermark`` (hysteresis, so one borderline worker does not
+    oscillate).  Oversize shards still split (a shard larger than
+    ``max_shard_items`` is itself a memory hazard).
+    """
+
+    #: items one worker can hold before it is "out of memory"
+    worker_capacity_items: int = 20_000
+    #: utilisation fraction above which a worker must shed load
+    high_watermark: float = 0.85
+    #: shed until the worker projects below this fraction
+    low_watermark: float = 0.60
+
+    def plan(self, view: WorkerView) -> list:
+        actions: list = []
+        budget = view.budget
+        if budget <= 0 or not view.sizes:
+            return actions
+        busy = set(view.busy)
+        budget = self._plan_oversize_splits(view, actions, busy, budget)
+        if budget <= 0 or len(view.sizes) < 2:
+            return actions
+        cap = self.worker_capacity_items
+        sizes = dict(view.sizes)
+        shards = {wid: dict(s) for wid, s in view.shards.items()}
+        while budget > 0:
+            src = max(sizes, key=sizes.get)
+            if sizes[src] <= self.high_watermark * cap:
+                break  # nobody is under pressure
+            dst = min(sizes, key=sizes.get)
+            if dst == src:
+                break
+            #: move enough to get src under the low watermark, but never
+            #: push dst itself over the high watermark
+            want = sizes[src] - self.low_watermark * cap
+            headroom = self.high_watermark * cap - sizes[dst]
+            limit = min(want, headroom)
+            candidates = [
+                (size, sid)
+                for sid, size in shards[src].items()
+                if sid not in busy
+                and self.min_migrate_items <= size <= limit
+            ]
+            if not candidates:
+                self._split_for_migration(shards[src], src, busy, actions)
+                break
+            size, sid = max(candidates)
+            actions.append(MigrateAction(src, dst, sid))
+            busy.add(sid)
+            budget -= 1
+            sizes[src] -= size
+            sizes[dst] += size
+            del shards[src][sid]
+            shards[dst][sid] = size
+        return actions
+
+
+@dataclass(frozen=True)
+class CostDrivenPolicy(BalancerPolicy):
+    """Threshold-shaped balancing under an explicit maintenance budget.
+
+    Colmenares et al. observe that sustained high-velocity ingestion
+    depends on keeping reorganisation work off the hot path *and
+    bounded*.  This policy prices every migration with the cost model
+    (:meth:`~repro.cluster.cost.CostModel.migrate_time`: serialize at
+    the source + deserialize at the destination) and spends at most
+    ``migration_budget`` virtual seconds of that work per scan,
+    best-value moves first (items rebalanced per second of maintenance
+    work).  Imbalance beyond the budget waits for the next scan instead
+    of monopolising worker threads.
+    """
+
+    #: virtual seconds of serialize+deserialize work allowed per scan
+    migration_budget: float = 0.05
+    #: prices migrations; share the cluster's model for honest budgets
+    cost: CostModel = field(default_factory=CostModel)
+
+    def plan(self, view: WorkerView) -> list:
+        actions: list = []
+        budget = view.budget
+        if budget <= 0 or not view.sizes:
+            return actions
+        busy = set(view.busy)
+        budget = self._plan_oversize_splits(view, actions, busy, budget)
+        if budget <= 0 or len(view.sizes) < 2:
+            return actions
+        sizes = dict(view.sizes)
+        shards = {wid: dict(s) for wid, s in view.shards.items()}
+        remaining = self.migration_budget
+        while budget > 0 and remaining > 0:
+            src = max(sizes, key=sizes.get)
+            dst = min(sizes, key=sizes.get)
+            if src == dst:
+                break
+            if sizes[src] <= self.imbalance_ratio * max(
+                sizes[dst], self.min_migrate_items
+            ):
+                break
+            gap = (sizes[src] - sizes[dst]) / 2
+            candidates = [
+                (size, sid)
+                for sid, size in shards[src].items()
+                if sid not in busy
+                and self.min_migrate_items <= size <= gap
+                and self.cost.migrate_time(size) <= remaining
+            ]
+            if not candidates:
+                # nothing affordable fits; prepare smaller pieces only
+                # if even the *cheapest* movable shard blew the budget
+                self._split_for_migration(shards[src], src, busy, actions)
+                break
+            # best value: items rebalanced per second of maintenance
+            # work (ties resolve to the larger shard, then higher id)
+            size, sid = max(
+                candidates,
+                key=lambda t: (t[0] / self.cost.migrate_time(t[0]), t),
+            )
+            actions.append(MigrateAction(src, dst, sid))
+            busy.add(sid)
+            budget -= 1
+            remaining -= self.cost.migrate_time(size)
+            sizes[src] -= size
+            sizes[dst] += size
+            del shards[src][sid]
+            shards[dst][sid] = size
+        return actions

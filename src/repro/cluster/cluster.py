@@ -22,10 +22,11 @@ from ..hilbert.id_expansion import HilbertKeyMapper
 from ..obs import MetricsRegistry, Observability
 from ..olap.records import RecordBatch
 from ..olap.schema import Schema
+from .balancer import BalancerPolicy, ThresholdPolicy
 from .client import ClientSession
 from .cost import CostModel
 from .faults import CheckpointStore, FaultInjector, FaultPlan, RetryPolicy
-from .manager import BalancerPolicy, Manager
+from .manager import Manager
 from .server import Server
 from .simclock import SimClock
 from .stats import ClusterStats, OpRecord
@@ -67,7 +68,10 @@ class ClusterConfig:
     )
     cost: CostModel = field(default_factory=CostModel)
     latency: LatencyModel = field(default_factory=LatencyModel)
-    balancer: BalancerPolicy = field(default_factory=BalancerPolicy)
+    #: load-balancing strategy (see repro.cluster.balancer): the default
+    #: ThresholdPolicy keeps the classic greedy behaviour; pass
+    #: MemoryPressurePolicy(...) or CostDrivenPolicy(...) to swap it
+    balancer: BalancerPolicy = field(default_factory=ThresholdPolicy)
     image_fanout: int = 8
     #: key kind of server local images and shard bounding keys in the
     #: system image: "mbr" (one box) or "mds" (multiple boxes)

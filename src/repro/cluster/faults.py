@@ -22,7 +22,7 @@ own seeded generators, so a chaos run replays exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fnmatch import fnmatch
 from typing import Optional
 

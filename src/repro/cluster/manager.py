@@ -6,42 +6,31 @@ workers while the system continues to serve inserts and queries.  The
 manager is deliberately *not* on the insert/query path -- it can reside
 anywhere and is never a throughput bottleneck.
 
-Policy (paper: "the manager may identify a worker that is overloaded
-and about to run out of memory, then send messages to workers
-instructing them to perform the appropriate splits and/or migrations"):
+The manager itself is thin; the two interesting parts live next door:
 
-* any shard larger than ``max_shard_items`` is split in place;
-* when the most loaded worker stores more than ``imbalance_ratio``
-  times the least loaded one, shards migrate from the former to the
-  latter until the projected sizes balance.
+* **deciding** is delegated to a pluggable
+  :class:`~repro.cluster.balancer.BalancerPolicy` whose pure ``plan``
+  turns a :class:`~repro.cluster.balancer.WorkerView` snapshot into
+  split/migrate actions (threshold, memory-pressure, or cost-driven);
+* **tracking** each started operation -- busy shards, per-kind in-flight
+  budgets, give-up timers, obs spans -- is owned by the
+  :class:`~repro.cluster.lifecycle.ShardOpMachine`, so the manager only
+  speaks the wire protocol and applies the policy's decisions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
+from .balancer import BalancerPolicy, MigrateAction, WorkerView
 from .faults import CheckpointStore
+from .lifecycle import ShardOp, ShardOpMachine
 from .simclock import SimClock
 from .stats import ClusterStats
 from .transport import Entity, Message, Transport
 from .zookeeper import Zookeeper
 
 __all__ = ["BalancerPolicy", "Manager"]
-
-
-@dataclass(frozen=True)
-class BalancerPolicy:
-    """Thresholds steering the manager's decisions."""
-
-    max_shard_items: int = 8000
-    imbalance_ratio: float = 1.4
-    min_migrate_items: int = 200
-    scan_period: float = 1.0
-    max_inflight: int = 4
-    #: give up on a split/migration that produced no reply (e.g. the
-    #: destination died mid-transfer) after this many virtual seconds
-    op_timeout: float = 10.0
 
 
 class Manager(Entity):
@@ -79,19 +68,24 @@ class Manager(Entity):
         self._restored_to: dict[int, int] = {}
         self._restore_rr = 0
         self._next_shard_id = first_shard_id
-        #: shard id -> (epoch, op kind) while a split/migration/restore runs
-        self._busy_shards: dict[int, tuple[int, str]] = {}
-        #: shard id -> open obs span of its in-flight balancing op
-        self._op_spans: dict[int, object] = {}
-        self._op_epoch = 0
-        self._inflight = 0
+        #: every in-flight op (busy tracking, budgets, timers, spans)
+        self.lifecycle = ShardOpMachine(
+            clock, transport, registry=self.stats.registry, entity_name=self.name
+        )
+        self.lifecycle.max_inflight = self.policy.max_inflight
+        self.lifecycle.max_inflight_restores = self.policy.max_inflight_restores
+        self.lifecycle.op_timeout = self.policy.op_timeout
+        self.lifecycle.on_timeout = self._on_op_timeout
         self.splits_started = 0
         self.migrations_started = 0
         self.failovers_handled = 0
         self.restores_done = 0
-        self.ops_timed_out = 0
         self.enabled = True
         clock.every(self.policy.scan_period, self.scan)
+
+    @property
+    def ops_timed_out(self) -> int:
+        return self.lifecycle.timed_out
 
     def allocate_shard_id(self) -> int:
         self._next_shard_id += 1
@@ -116,12 +110,13 @@ class Manager(Entity):
         if not self.enabled:
             return
         self._check_failures()
+        self._sync_worker_phases()
         # retry restores that stalled (target died mid-restore, or no
         # survivor existed when the owner was declared dead)
         for sid in sorted(self._pending_restores):
-            if sid not in self._busy_shards:
+            if not self.lifecycle.busy(sid):
                 self._try_restore(sid)
-        if self._inflight >= self.policy.max_inflight:
+        if self.lifecycle.balance_inflight >= self.policy.max_inflight:
             return
         state = self._worker_state()
         state = {
@@ -129,9 +124,27 @@ class Manager(Entity):
         }
         if len(state) < 1:
             return
-        self._scan_splits(state)
-        if self._inflight < self.policy.max_inflight:
-            self._scan_migrations(state)
+        view = WorkerView.from_stats(
+            state,
+            busy=self.lifecycle.busy_shards(),
+            budget=self.policy.max_inflight - self.lifecycle.balance_inflight,
+        )
+        for action in self.policy.plan(view):
+            if isinstance(action, MigrateAction):
+                self._start_migration(action.src, action.dst, action.shard_id)
+            else:
+                self._start_split(action.worker_id, action.shard_id)
+
+    def _sync_worker_phases(self) -> None:
+        """Fold worker-reported transfer phases (published best-effort
+        under ``/lifecycle/``) into the active ops, so the machine's
+        history shows the same ``INSTALLING``/``CUTOVER`` states the
+        worker-side :class:`~repro.cluster.worker.ShardTransfer` went
+        through.  Purely observational: reads schedule no events."""
+        for sid in list(self.lifecycle.ops):
+            data = self.zk.get(f"/lifecycle/{sid}")
+            if data is not None:
+                self.lifecycle.advance(sid, data[0])
 
     # -- failure detection / recovery (heartbeats + checkpoints) ----------
 
@@ -168,9 +181,14 @@ class Manager(Entity):
 
     def _try_restore(self, sid: int) -> None:
         """Send the shard's checkpoint to an alive worker.  A no-op when
-        no survivor exists; the periodic scan retries once one revives
-        (or the crashed worker itself restarts)."""
-        if sid in self._busy_shards:
+        no survivor exists or the restore budget is exhausted; the
+        periodic scan retries once a slot (or survivor) appears."""
+        if self.lifecycle.busy(sid):
+            return
+        if (
+            self.lifecycle.restore_inflight
+            >= self.lifecycle.max_inflight_restores
+        ):
             return
         targets = sorted(
             w for w in self.workers if w not in self.dead_workers
@@ -178,138 +196,41 @@ class Manager(Entity):
         if not targets:
             return
         self._restore_rr += 1
-        dst = self.workers[targets[self._restore_rr % len(targets)]]
+        dst_id = targets[self._restore_rr % len(targets)]
         ck = self.checkpoints.get(sid) if self.checkpoints else None
         blob = ck[0] if ck is not None else None
-        self._mark_busy(sid, "restore")
-        span = self._start_op_span("restore", sid)
+        op = self.lifecycle.admit("restore", sid, dst=dst_id)
+        if op is None:  # pragma: no cover - guarded above
+            return
         self.transport.send(
-            dst,
+            self.workers[dst_id],
             Message(
                 "restore_shard",
                 (sid, blob, self),
                 size=len(blob) if blob is not None else 64,
                 sender=self,
-                ctx=span.ctx if span is not None else None,
+                ctx=op.span.ctx if op.span is not None else None,
             ),
         )
-
-    def _scan_splits(self, state: dict[int, dict]) -> None:
-        for wid, data in state.items():
-            for sid, size in data.get("shards", {}).items():
-                if (
-                    size > self.policy.max_shard_items
-                    and sid not in self._busy_shards
-                    and self._inflight < self.policy.max_inflight
-                ):
-                    self._start_split(wid, sid)
-
-    def _scan_migrations(self, state: dict[int, dict]) -> None:
-        """Plan migrations using projected sizes until balance or the
-        in-flight budget is reached (several moves per scan)."""
-        if len(state) < 2:
-            return
-        sizes = {wid: data.get("items", 0) for wid, data in state.items()}
-        shards = {
-            wid: dict(data.get("shards", {})) for wid, data in state.items()
-        }
-        while self._inflight < self.policy.max_inflight:
-            src = max(sizes, key=sizes.get)
-            dst = min(sizes, key=sizes.get)
-            if src == dst:
-                return
-            if sizes[src] <= self.policy.imbalance_ratio * max(
-                sizes[dst], self.policy.min_migrate_items
-            ):
-                return
-            # move the largest shard that keeps dst below src
-            gap = (sizes[src] - sizes[dst]) / 2
-            candidates = [
-                (size, sid)
-                for sid, size in shards[src].items()
-                if sid not in self._busy_shards
-                and self.policy.min_migrate_items <= size <= gap
-            ]
-            if not candidates:
-                # Every movable shard is too big: split the largest one
-                # so the next scan has migratable pieces (paper III-E:
-                # "a shard can also be split if the load balancer
-                # requires smaller shards for migration").
-                splittable = [
-                    (size, sid)
-                    for sid, size in shards[src].items()
-                    if sid not in self._busy_shards
-                    and size >= 2 * self.policy.min_migrate_items
-                ]
-                if splittable:
-                    _, sid = max(splittable)
-                    self._start_split(src, sid)
-                return
-            size, sid = max(candidates)
-            self._start_migration(src, dst, sid)
-            # project the move so the next iteration plans with it applied
-            sizes[src] -= size
-            sizes[dst] += size
-            del shards[src][sid]
-            shards[dst][sid] = size
+        self.lifecycle.dispatched(sid)
 
     # -- operations -----------------------------------------------------------
 
-    def _start_op_span(self, kind: str, shard_id: int):
-        """Open the root span of a balancing op (``manager.split`` /
-        ``manager.migrate`` / ``manager.restore``); ``None`` when off."""
-        if self.transport.obs is None:
-            return None
-        span = self.transport.obs.start_span(
-            f"manager.{kind}", self.name, shard=shard_id
-        )
-        if span is not None:
-            self._op_spans[shard_id] = span
-        return span
-
-    def _finish_op_span(self, shard_id: int, **tags) -> None:
-        span = self._op_spans.pop(shard_id, None)
-        if span is not None and self.transport.obs is not None:
-            self.transport.obs.finish_span(span, **tags)
-
-    def _mark_busy(self, shard_id: int, kind: str, src: Optional[int] = None) -> None:
-        """Track an in-flight op and arm a give-up timer so an op whose
-        participant died cannot leak the shard's busy slot forever."""
-        self._op_epoch += 1
-        epoch = self._op_epoch
-        self._busy_shards[shard_id] = (epoch, kind)
-
-        def fire() -> None:
-            if self._busy_shards.get(shard_id) != (epoch, kind):
-                return  # completed (or superseded) in time
-            del self._busy_shards[shard_id]
-            self._finish_op_span(shard_id, ok=False, timeout=True)
-            self.ops_timed_out += 1
-            if kind in ("split", "migrate"):
-                self._inflight -= 1
-            if kind == "migrate" and src is not None:
-                # unwedge the frozen source shard
-                self.transport.send(
-                    self.workers[src],
-                    Message("migrate_abort", (shard_id,), sender=self),
-                )
-            if kind == "restore" and shard_id in self._pending_restores:
-                self._try_restore(shard_id)  # pick another survivor
-
-        self.clock.after(self.policy.op_timeout, fire)
-
-    def _release(self, shard_id: int, expected_kind: str) -> bool:
-        entry = self._busy_shards.pop(shard_id, None)
-        if entry is None:
-            return False  # already timed out
-        if entry[1] in ("split", "migrate"):
-            self._inflight -= 1
-        return True
+    def _on_op_timeout(self, op: ShardOp) -> None:
+        """Protocol unwind after the machine's give-up timer fired."""
+        if op.kind == "migrate" and op.src is not None:
+            # unwedge the frozen source shard
+            self.transport.send(
+                self.workers[op.src],
+                Message("migrate_abort", (op.shard_id,), sender=self),
+            )
+        if op.kind == "restore" and op.shard_id in self._pending_restores:
+            self._try_restore(op.shard_id)  # pick another survivor
 
     def _start_split(self, worker_id: int, shard_id: int) -> None:
-        self._mark_busy(shard_id, "split")
-        span = self._start_op_span("split", shard_id)
-        self._inflight += 1
+        op = self.lifecycle.admit("split", shard_id, src=worker_id)
+        if op is None:  # pragma: no cover - plan respects busy/budget
+            return
         self.splits_started += 1
         low, high = self.allocate_shard_id(), self.allocate_shard_id()
         self.transport.send(
@@ -318,14 +239,15 @@ class Manager(Entity):
                 "split_shard",
                 (shard_id, low, high, self),
                 sender=self,
-                ctx=span.ctx if span is not None else None,
+                ctx=op.span.ctx if op.span is not None else None,
             ),
         )
+        self.lifecycle.dispatched(shard_id)
 
     def _start_migration(self, src: int, dst: int, shard_id: int) -> None:
-        self._mark_busy(shard_id, "migrate", src=src)
-        span = self._start_op_span("migrate", shard_id)
-        self._inflight += 1
+        op = self.lifecycle.admit("migrate", shard_id, src=src, dst=dst)
+        if op is None:  # pragma: no cover - plan respects busy/budget
+            return
         self.migrations_started += 1
         self.transport.send(
             self.workers[src],
@@ -333,31 +255,30 @@ class Manager(Entity):
                 "migrate_shard",
                 (shard_id, self.workers[dst], self),
                 sender=self,
-                ctx=span.ctx if span is not None else None,
+                ctx=op.span.ctx if op.span is not None else None,
             ),
         )
+        self.lifecycle.dispatched(shard_id)
 
     # -- acknowledgements -----------------------------------------------------
 
     def receive(self, msg: Message) -> None:
         if msg.kind == "split_done":
             shard_id, _low, _high, _wid = msg.payload
-            if self._release(shard_id, "split"):
+            if self.lifecycle.complete(shard_id, "split", ok=True):
                 self.stats.record_split(self.clock.now)
-            self._finish_op_span(shard_id, ok=True)
         elif msg.kind == "migrate_done":
             shard_id, _src, _dst = msg.payload
-            if self._release(shard_id, "migrate"):
+            if self.lifecycle.complete(shard_id, "migrate", ok=True):
                 self.stats.record_migration(self.clock.now)
-            self._finish_op_span(shard_id, ok=True)
         elif msg.kind in ("split_failed", "migrate_failed"):
             shard_id = msg.payload[0]
-            self._release(shard_id, msg.kind.split("_")[0])
-            self._finish_op_span(shard_id, ok=False)
+            self.lifecycle.complete(
+                shard_id, msg.kind.split("_")[0], ok=False
+            )
         elif msg.kind == "restore_done":
             shard_id, wid, _size = msg.payload
-            self._busy_shards.pop(shard_id, None)
-            self._finish_op_span(shard_id, ok=True)
+            self.lifecycle.complete(shard_id, "restore", ok=True)
             if shard_id in self._pending_restores:
                 self._pending_restores.discard(shard_id)
                 self.restores_done += 1

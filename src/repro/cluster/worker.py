@@ -31,12 +31,167 @@ from ..olap.records import RecordBatch, concat_batches
 from ..olap.schema import Schema
 from .cost import CostModel
 from .faults import CheckpointStore
+from .lifecycle import CUTOVER, INSTALLING, TRANSFERRING
 from .simclock import ServicePool, SimClock
 from .wire import QUERY_ROW_WIRE_BYTES, key_to_wire
 from .transport import Entity, Message, Transport
 from .zookeeper import Zookeeper
 
-__all__ = ["Worker"]
+__all__ = ["ShardTransfer", "Worker"]
+
+
+class ShardTransfer:
+    """The shared mechanics of every shard reorganisation on a worker.
+
+    Split, outbound/inbound migration, queue hand-off, abort and
+    restore all reduce to the same few moves -- freeze a shard behind a
+    fresh insertion queue, drain that queue somewhere, update the
+    mapping table, install and publish stores, re-point the Zookeeper
+    image -- and each protocol handler used to carry its own copy.
+    The handlers on :class:`Worker` now only parse messages and send
+    replies; the mechanics live here, once.
+
+    Every move also announces its phase (the state names of
+    :mod:`repro.cluster.lifecycle`) under ``/lifecycle/<shard>``:
+    best-effort observability that the manager folds into its
+    :class:`~repro.cluster.lifecycle.ShardOpMachine`.  Nothing watches
+    the prefix, so announcing schedules no events and cannot perturb
+    the simulation.
+    """
+
+    def __init__(self, worker: "Worker"):
+        self.w = worker
+
+    # -- phase announcements (observability only) --------------------------
+
+    def announce(self, shard_id: int, state: str) -> None:
+        self.w.zk.set(f"/lifecycle/{shard_id}", (state, self.w.worker_id))
+
+    def finish(self, shard_id: int) -> None:
+        self.w.zk.delete(f"/lifecycle/{shard_id}")
+
+    # -- freeze / unwind ---------------------------------------------------
+
+    def begin(self, shard_id: int, min_items: int = 0) -> Optional[ShardStore]:
+        """Freeze ``shard_id`` behind a fresh insertion queue and return
+        its store -- or ``None``, changing nothing, when the shard is
+        absent, already frozen, or smaller than ``min_items``.  New
+        inserts land in the queue; queries keep hitting the shard plus
+        the queue, so query processing is never interrupted."""
+        w = self.w
+        store = w.shards.get(shard_id)
+        if store is None or shard_id in w.frozen or len(store) < min_items:
+            return None
+        w.frozen.add(shard_id)
+        w.queues[shard_id] = w.store_cls(w.schema, w.tree_config)
+        self.announce(shard_id, TRANSFERRING)
+        return store
+
+    def cancel(self, shard_id: int) -> None:
+        """Unwind a frozen shard: unfreeze it and fold its insertion
+        queue back in (nothing was handed off, so nothing is lost)."""
+        w = self.w
+        store = w.shards.get(shard_id)
+        w.frozen.discard(shard_id)
+        if store is not None:
+            self.drain_into(shard_id, store)
+        w.queues.pop(shard_id, None)
+        self.finish(shard_id)
+
+    def drain_into(self, shard_id: int, store: ShardStore) -> None:
+        """Fold ``shard_id``'s insertion queue into ``store``."""
+        queue = self.w.queues.get(shard_id)
+        if queue is None:
+            return
+        for coords, m in queue.items().iter_rows():
+            store.insert(coords, m)
+
+    def absorb(self, shard_id: int, batch: RecordBatch) -> None:
+        """Fold a handed-off insertion queue into an installed shard."""
+        store = self.w.shards.get(shard_id)
+        if store is None:  # pragma: no cover - defensive
+            return
+        for coords, m in batch.iter_rows():
+            store.insert(coords, m)
+
+    # -- cut-over ----------------------------------------------------------
+
+    def split_cutover(
+        self,
+        shard_id: int,
+        store: ShardStore,
+        plane: Hyperplane,
+        low_id: int,
+        high_id: int,
+    ) -> None:
+        """Split ``store``, install the children, record the
+        mapping-table entry, drain the insertion queue through it (rows
+        reach whichever child they belong to), and re-point the system
+        image at the children."""
+        w = self.w
+        self.announce(shard_id, CUTOVER)
+        low, high = store.split(plane)
+        w.shards[low_id] = low
+        w.shards[high_id] = high
+        w.mapping[shard_id] = (plane, low_id, high_id)
+        del w.shards[shard_id]
+        queue = w.queues.pop(shard_id)
+        w.frozen.discard(shard_id)
+        for coords, m in queue.items().iter_rows():
+            sid = w._resolve_insert(shard_id, coords)
+            w.shards[sid].insert(coords, m)
+        w._publish_shard(low_id)
+        w._publish_shard(high_id)
+        w.zk.delete(f"/shards/{shard_id}")
+        if w.checkpoints is not None:
+            w.checkpoints.drop(shard_id)  # parent id no longer exists
+        self.finish(shard_id)
+
+    def install(self, shard_id: int, store: ShardStore, publish: bool) -> None:
+        """Install a deserialized shard.  Restores publish immediately;
+        an inbound migration does not (the source still owns the image
+        until its cut-over re-points it here)."""
+        w = self.w
+        w.shards[shard_id] = store
+        if publish:
+            w._publish_shard(shard_id)
+            self.finish(shard_id)
+
+    def cutover_out(self, shard_id: int, dst: "Worker") -> Optional[ShardStore]:
+        """Source-side migration cut-over: hand the insertion queue off
+        to ``dst``, release local ownership, and re-point the system
+        image; returns the store that moved away."""
+        w = self.w
+        self.announce(shard_id, CUTOVER)
+        queue = w.queues.pop(shard_id, None)
+        w.frozen.discard(shard_id)
+        old = w.shards.pop(shard_id, None)
+        if queue is not None and len(queue):
+            w.transport.send(
+                dst,
+                Message(
+                    "queue_transfer",
+                    (shard_id, queue.items(), dst),
+                    size=len(queue) * 72,
+                    sender=w,
+                ),
+            )
+        info_key = (
+            old.bounding_key()
+            if old is not None
+            else Box.empty(w.schema.num_dims)
+        )
+        w.zk.set(
+            f"/shards/{shard_id}",
+            (
+                shard_id,
+                key_to_wire(info_key),
+                dst.worker_id,
+                len(old) if old is not None else 0,
+            ),
+        )
+        self.finish(shard_id)
+        return old
 
 
 class Worker(Entity):
@@ -65,6 +220,9 @@ class Worker(Entity):
         self.cost = cost if cost is not None else CostModel()
         self.store_cls = store_cls
         self.shards: dict[int, ShardStore] = {}
+        #: the one implementation of the transfer mechanics every
+        #: split/migrate/restore handler goes through
+        self.transfer = ShardTransfer(self)
         #: per-shard insertion queues, live while a split/migration runs
         self.queues: dict[int, ShardStore] = {}
         #: mapping table: old shard id -> (hyperplane, low id, high id)
@@ -567,8 +725,8 @@ class Worker(Entity):
             span = obs.start_span(
                 "worker.split", self.name, parent=msg.ctx, shard=shard_id
             )
-        store = self.shards.get(shard_id)
-        if store is None or shard_id in self.frozen or len(store) < 2:
+        store = self.transfer.begin(shard_id, min_items=2)
+        if store is None:
             if obs is not None:
                 obs.finish_span(span, ok=False)
             self.transport.send(
@@ -576,16 +734,10 @@ class Worker(Entity):
                 Message("split_failed", (shard_id, self.worker_id), sender=self),
             )
             return
-        # Freeze: new inserts go to the insertion queue; queries keep
-        # hitting the shard plus the queue.
-        self.frozen.add(shard_id)
-        self.queues[shard_id] = self.store_cls(self.schema, self.tree_config)
         try:
             plane = store.split_query()
         except ValueError:
-            self.frozen.discard(shard_id)
-            self._drain_queue_into(shard_id, store)
-            del self.queues[shard_id]
+            self.transfer.cancel(shard_id)
             if obs is not None:
                 obs.finish_span(span, ok=False)
             self.transport.send(
@@ -596,22 +748,9 @@ class Worker(Entity):
         service = self.cost.split_time(len(store))
 
         def finish() -> None:
-            low, high = store.split(plane)
-            self.shards[new_low] = low
-            self.shards[new_high] = high
-            self.mapping[shard_id] = (plane, new_low, new_high)
-            del self.shards[shard_id]
-            # drain the queue through the mapping (reaches the children)
-            queue = self.queues.pop(shard_id)
-            self.frozen.discard(shard_id)
-            for coords, m in queue.items().iter_rows():
-                sid = self._resolve_insert(shard_id, coords)
-                self.shards[sid].insert(coords, m)
-            self._publish_shard(new_low)
-            self._publish_shard(new_high)
-            self.zk.delete(f"/shards/{shard_id}")
-            if self.checkpoints is not None:
-                self.checkpoints.drop(shard_id)  # parent id no longer exists
+            self.transfer.split_cutover(
+                shard_id, store, plane, new_low, new_high
+            )
             if obs is not None:
                 obs.finish_span(span, ok=True)
             self.transport.send(
@@ -625,26 +764,17 @@ class Worker(Entity):
 
         self._submit(service, finish)
 
-    def _drain_queue_into(self, shard_id: int, store: ShardStore) -> None:
-        queue = self.queues.get(shard_id)
-        if queue is None:
-            return
-        for coords, m in queue.items().iter_rows():
-            store.insert(coords, m)
-
     # migration --------------------------------------------------------------
 
     def _on_migrate_shard(self, msg: Message) -> None:
         shard_id, dst, reply_to = msg.payload  # dst is a Worker entity
-        store = self.shards.get(shard_id)
-        if store is None or shard_id in self.frozen:
+        store = self.transfer.begin(shard_id)
+        if store is None:
             self.transport.send(
                 reply_to,
                 Message("migrate_failed", (shard_id, self.worker_id), sender=self),
             )
             return
-        self.frozen.add(shard_id)
-        self.queues[shard_id] = self.store_cls(self.schema, self.tree_config)
         blob = store.serialize()
         service = self.cost.serialize_time(len(store))
 
@@ -665,22 +795,18 @@ class Worker(Entity):
         """Manager gave up on a wedged migration (e.g. the destination
         died mid-transfer): unfreeze and fold the queue back in."""
         shard_id = msg.payload[0]
-        if shard_id not in self.frozen:
+        if shard_id not in self.frozen or shard_id not in self.shards:
             return
-        store = self.shards.get(shard_id)
-        if store is None:
-            return
-        self.frozen.discard(shard_id)
-        self._drain_queue_into(shard_id, store)
-        self.queues.pop(shard_id, None)
+        self.transfer.cancel(shard_id)
 
     def _on_migrate_in(self, msg: Message) -> None:
         shard_id, blob, src, reply_to = msg.payload
         store = self.store_cls.deserialize(self.schema, blob, self.tree_config)
+        self.transfer.announce(shard_id, INSTALLING)
         service = self.cost.deserialize_time(len(store))
 
         def ready() -> None:
-            self.shards[shard_id] = store
+            self.transfer.install(shard_id, store, publish=False)
             self.transport.send(
                 src,
                 Message("migrate_ready", (shard_id, self, reply_to), sender=self),
@@ -702,33 +828,7 @@ class Worker(Entity):
             )
             return
         # Hand off anything queued during the transfer, then cut over.
-        queue = self.queues.pop(shard_id, None)
-        self.frozen.discard(shard_id)
-        old = self.shards.pop(shard_id, None)
-        if queue is not None and len(queue):
-            self.transport.send(
-                dst,
-                Message(
-                    "queue_transfer",
-                    (shard_id, queue.items(), dst),
-                    size=len(queue) * 72,
-                    sender=self,
-                ),
-            )
-        info_key = (
-            old.bounding_key()
-            if old is not None
-            else Box.empty(self.schema.num_dims)
-        )
-        self.zk.set(
-            f"/shards/{shard_id}",
-            (
-                shard_id,
-                key_to_wire(info_key),
-                dst.worker_id,
-                len(old) if old is not None else 0,
-            ),
-        )
+        self.transfer.cutover_out(shard_id, dst)
         self.transport.send(
             reply_to,
             Message(
@@ -740,17 +840,14 @@ class Worker(Entity):
 
     def _on_queue_transfer(self, msg: Message) -> None:
         shard_id, batch, _ = msg.payload
-        store = self.shards.get(shard_id)
-        if store is None:  # pragma: no cover - defensive
-            return
-        for coords, m in batch.iter_rows():
-            store.insert(coords, m)
+        self.transfer.absorb(shard_id, batch)
 
     def _on_drop_shard(self, msg: Message) -> None:
         """Discard an orphan copy left by an aborted migration."""
         shard_id = msg.payload[0]
         if shard_id not in self.frozen:
             self.shards.pop(shard_id, None)
+            self.transfer.finish(shard_id)
 
     # -- failover restore ------------------------------------------------------
 
@@ -768,11 +865,11 @@ class Worker(Entity):
             store = self.store_cls.deserialize(
                 self.schema, blob, self.tree_config
             )
+        self.transfer.announce(shard_id, INSTALLING)
         service = self.cost.deserialize_time(len(store))
 
         def ready() -> None:
-            self.shards[shard_id] = store
-            self._publish_shard(shard_id)
+            self.transfer.install(shard_id, store, publish=True)
             if self.checkpoints is not None and blob is not None:
                 # re-own the blob so a second failure still recovers
                 self.checkpoints.put(

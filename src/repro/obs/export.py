@@ -14,7 +14,6 @@ label key) so golden-file tests stay stable:
 from __future__ import annotations
 
 import json
-from typing import Optional
 
 __all__ = ["to_prometheus", "write_events_jsonl"]
 

@@ -5,7 +5,6 @@ here we verify the drivers execute end to end, return well-formed data,
 and the CLI renders them.
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import (
@@ -20,7 +19,6 @@ from repro.bench import (
     run_split_ablation,
     run_sync_period_ablation,
 )
-from repro.bench.tables import render_series, render_table
 
 
 def test_fig4_driver_tiny():

@@ -10,7 +10,6 @@ must hold and no item may be lost.
 
 import threading
 
-import numpy as np
 import pytest
 
 from repro.core import HilbertPDCTree, PDCTree, TreeConfig

@@ -13,7 +13,6 @@ import pytest
 
 from repro.cluster import BalancerPolicy, ClusterConfig, VOLAPCluster
 from repro.core import ArrayStore, TreeConfig
-from repro.olap.query import Query
 from repro.workloads import QueryGenerator, TPCDSGenerator, tpcds_schema
 from repro.workloads.streams import Operation
 

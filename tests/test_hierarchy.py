@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.olap.hierarchy import (
-    Dimension,
     Hierarchy,
     Level,
     bits_for,

@@ -1,7 +1,6 @@
 """Tests for the high-dimensional workload helpers (Fig 5 substrate)."""
 
 import numpy as np
-import pytest
 
 from repro.workloads.highdim import (
     heterogeneous_schema,

@@ -1,7 +1,6 @@
 """Tests for hierarchical-ID expansion (paper Fig. 3) and key mapping."""
 
 import numpy as np
-import pytest
 
 from repro.hilbert.id_expansion import HilbertKeyMapper, IdExpansion
 from repro.olap.hierarchy import Dimension, Hierarchy, Level

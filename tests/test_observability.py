@@ -21,7 +21,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro import MetricsRegistry, Observability, Query, TreeProfiler
+from repro import MetricsRegistry, Query, TreeProfiler
 from repro.cluster import (
     BalancerPolicy,
     ClusterConfig,

@@ -1,13 +1,11 @@
 """Cross-cutting property tests tying modules together."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import ArrayStore, HilbertPDCTree, TreeConfig
 from repro.cluster.simclock import ServicePool, SimClock
 from repro.olap.query import full_query
-from repro.olap.records import RecordBatch
 from repro.olap.rollup import rollup
 
 from .conftest import make_schema, random_batch

@@ -1,10 +1,8 @@
 """Tests for roll-up / pivot / drill-down grouped aggregates."""
 
-import numpy as np
 import pytest
 
 from repro.core import ArrayStore, HilbertPDCTree
-from repro.olap.keys import Box
 from repro.olap.query import query_from_levels
 from repro.olap.rollup import drilldown_path, group_boxes, pivot, rollup
 from repro.workloads import TPCDSGenerator, tpcds_schema

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.olap.hierarchy import Dimension, Hierarchy, Level, flat_dimension
-from repro.olap.query import Query, full_query, query_from_levels
+from repro.olap.query import full_query, query_from_levels
 from repro.olap.records import RecordBatch, concat_batches
 from repro.olap.schema import Schema
 

@@ -15,7 +15,7 @@ from repro.core.base import Hyperplane
 from repro.olap.query import full_query
 from repro.olap.records import RecordBatch
 
-from .conftest import make_schema, random_batch
+from .conftest import random_batch
 
 ALL_STORES = [ArrayStore, HilbertPDCTree, PDCTree, RTree, HilbertRTree]
 

@@ -11,11 +11,8 @@ from repro.cluster.transport import Entity, LatencyModel, Message, Transport
 from repro.cluster.worker import Worker
 from repro.cluster.zookeeper import Zookeeper
 from repro.core import HilbertPDCTree, TreeConfig
-from repro.core.base import Hyperplane
 from repro.olap.keys import Box
 from repro.olap.query import full_query
-
-from .conftest import make_schema, random_batch
 
 
 class Sink(Entity):
