@@ -1,12 +1,20 @@
-"""Chaos and recovery: fault injection, worker failover, degraded queries.
+"""Chaos and recovery: faults, replica promotion, bounded-staleness reads.
 
-A cluster ingests under a 10% message drop + duplication plan (every
-acknowledged insert still lands exactly once thanks to op-id
-deduplication), then loses a worker outright: heartbeat TTL znodes
-expire, the manager declares it dead and restores its shards from
-periodic checkpoints onto the survivors.  Queries issued during the
-recovery window return within their deadline with a reported coverage
-fraction < 1 instead of stalling; afterwards coverage is exact again.
+A replicated cluster (``replication_factor=1``) ingests under a 10%
+message drop + duplication plan (every acknowledged insert still lands
+exactly once thanks to op-id deduplication), then loses workers two
+different ways:
+
+* With a live replica, failover is a **promotion**: the manager flips
+  the freshest replica to primary -- zero checkpoint blobs touched.
+* When a shard's primary *and* replica are both gone, the manager
+  falls back to the seed path: **restore** from periodic checkpoints.
+
+Queries throughout carry an optional ``max_staleness`` budget.  During
+the failure-detection window a budget query keeps 100% coverage by
+reading the dead primary's shards from their replicas (the achieved
+staleness is reported per query); a budget-less query degrades to
+partial coverage instead of stalling.
 
 Run:  python examples/chaos_recovery.py
 """
@@ -23,13 +31,23 @@ from repro.olap.query import full_query
 from repro.workloads.streams import Operation
 
 
-def one_query(cluster, schema):
+def one_query(cluster, schema, max_staleness=None):
     sess = cluster.session(0, concurrency=1)
     got = []
     sess.on_complete = got.append
-    sess.run_stream([Operation("query", query=full_query(schema))])
+    q = full_query(schema)
+    q.max_staleness = max_staleness
+    sess.run_stream([Operation("query", query=q)])
     cluster.run_until_clients_done()
     return got[0]
+
+
+def show(tag, rec):
+    print(
+        f"  {tag}: coverage {rec.achieved:.0%}, n={rec.result_count:,}, "
+        f"staleness {rec.staleness * 1000:.1f} ms, "
+        f"latency {rec.latency * 1000:.0f} ms"
+    )
 
 
 def main() -> None:
@@ -49,21 +67,26 @@ def main() -> None:
         ClusterConfig(
             num_workers=3,
             num_servers=1,
-            balancer=BalancerPolicy(max_shard_items=100_000, scan_period=0.1),
+            balancer=BalancerPolicy(
+                max_shard_items=100_000, scan_period=0.1, op_timeout=2.0
+            ),
             retry=retry,
             heartbeat_period=0.1,
             heartbeat_miss_k=3,
             checkpoint_period=0.4,
+            replication_factor=1,
         ),
     )
     n = 20_000
     cluster.bootstrap(gen.batch(n), shards_per_worker=2)
-    print(f"bootstrap: {n:,} items on 3 workers, {cluster.shard_count()} shards")
+    print(
+        f"bootstrap: {n:,} items on 3 workers, {cluster.shard_count()} "
+        f"shards, 1 async replica per shard"
+    )
+    cluster.run_for(2.0)  # seed the replicas from snapshots
 
     # -- phase 1: ingest through a lossy, duplicating network ---------------
-    inj = cluster.inject_faults(
-        FaultPlan().drop(0.10).duplicate(0.10), seed=7
-    )
+    inj = cluster.inject_faults(FaultPlan().drop(0.10).duplicate(0.10), seed=7)
     extra = gen.batch(1_000)
     sess = cluster.session(0, concurrency=8)
     sess.run_stream(
@@ -85,32 +108,53 @@ def main() -> None:
     assert cluster.total_items() == n + len(extra), "exactly-once violated!"
     print(f"  global count {cluster.total_items():,} = exactly-once ✓")
     cluster.clear_faults()
+    cluster.run_for(1.0)  # checkpoints + replica stream catch up
 
-    # -- phase 2: kill a worker, query during and after recovery -----------
-    cluster.run_for(1.0)  # let checkpoints cover the fresh inserts
+    # -- phase 2: bounded-staleness reads (healthy cluster) -----------------
+    print("\nbounded-staleness reads (budget 100 ms, replicas offload):")
+    for _ in range(3):
+        show("query", one_query(cluster, schema, max_staleness=0.1))
+    print(f"  shard reads served by replicas: {cluster.servers[0].replica_reads}")
+
+    # -- phase 3: kill a primary -> replica promotion -----------------------
     victim = 0
     lost = cluster.worker_sizes()[victim]
     cluster.crash_worker(victim)
     print(f"\ncrashed worker {victim} (held {lost:,} items)")
 
-    rec = one_query(cluster, schema)
-    print(
-        f"  query during recovery: coverage {rec.achieved:.0%}, "
-        f"n={rec.result_count:,}, latency {rec.latency * 1000:.0f} ms "
-        f"(deadline {retry.query_deadline * 1000:.0f} ms)"
-    )
+    rec = one_query(cluster, schema)  # no budget: honest partial coverage
+    show("during recovery, no budget   ", rec)
+    rec = one_query(cluster, schema, max_staleness=0.5)
+    show("during recovery, 500ms budget", rec)
 
-    cluster.run_for(2.0)  # heartbeat expiry + manager restore
+    cluster.run_for(2.0)  # heartbeat expiry + promotions
     t, wid, k = cluster.stats.failovers[0]
-    print(f"  manager declared worker {wid} dead at t={t:.2f}s, restored {k} shards")
-
-    rec2 = one_query(cluster, schema)
+    deser = sum(w.checkpoint_deserializations for w in cluster.workers.values())
     print(
-        f"  query after recovery:  coverage {rec2.achieved:.0%}, "
-        f"n={rec2.result_count:,}"
+        f"  declared dead at t={t:.2f}s -> {cluster.manager.promotions_done} "
+        f"replicas promoted, {deser} checkpoint blobs deserialized"
     )
-    assert rec2.achieved == 1.0 and rec2.result_count == n + len(extra)
-    print("no item lost: checkpoints + failover restored the full database ✓")
+    show("after promotion              ", one_query(cluster, schema))
+
+    # -- phase 4: double failure -> promote where possible, restore the rest
+    cluster.restart_worker(victim)
+    cluster.run_for(3.0)  # rejoin through quarantine, re-seed replicas
+    promoted_before = cluster.manager.promotions_done
+    restored_before = cluster.manager.restores_done
+    cluster.crash_worker(1)
+    cluster.crash_worker(2)
+    print("\ncrashed workers 1 AND 2: some shards lose primary + replica")
+    cluster.run_for(8.0)
+    promoted = cluster.manager.promotions_done - promoted_before
+    restored = cluster.manager.restores_done - restored_before
+    print(
+        f"  healed onto the survivor: {promoted} shards by replica "
+        f"promotion, {restored} by checkpoint restore"
+    )
+    rec = one_query(cluster, schema)
+    show("after double failure         ", rec)
+    assert rec.achieved == 1.0 and rec.result_count == n + len(extra)
+    print("no item lost: replicas + checkpoints restored the full database ✓")
 
 
 if __name__ == "__main__":

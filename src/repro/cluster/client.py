@@ -332,7 +332,9 @@ class ClientSession(Entity):
                 attempts=pending.attempts,
             )
         elif msg.kind == "query_done":
-            op_id, _t, agg, searched, coverage, achieved = msg.payload
+            (
+                op_id, _t, agg, searched, coverage, achieved, staleness,
+            ) = msg.payload
             pending = self._pending.pop(op_id, None)
             if pending is None:
                 return
@@ -346,6 +348,7 @@ class ClientSession(Entity):
                 result_count=agg.count,
                 achieved=achieved,
                 attempts=pending.attempts,
+                staleness=staleness,
             )
         else:
             raise ValueError(f"client: unknown message {msg.kind!r}")

@@ -101,6 +101,14 @@ class ClusterConfig:
     heartbeat_miss_k: int = 4
     #: periodic shard checkpointing for failover restores; 0 disables
     checkpoint_period: float = 5.0
+    #: asynchronous replicas per shard, fed by the live insert stream;
+    #: 0 disables replication entirely (the classic single-copy paths
+    #: stay byte-identical)
+    replication_factor: int = 0
+    #: cluster-default bounded-staleness read budget (virtual seconds)
+    #: for queries that do not set ``Query.max_staleness`` themselves;
+    #: ``None`` keeps every read on shard primaries
+    max_staleness: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.client_batch_size is not None:
@@ -144,6 +152,7 @@ class VOLAPCluster:
                 image_fanout=self.config.image_fanout,
                 image_key_kind=self.config.image_key_kind,
                 retry=self.config.retry,
+                max_staleness=self.config.max_staleness,
             )
             for sid in range(self.config.num_servers)
         ]
@@ -161,6 +170,7 @@ class VOLAPCluster:
                 else None
             ),
             heartbeat_miss_k=self.config.heartbeat_miss_k,
+            replication_factor=self.config.replication_factor,
         )
         self._clients: list[ClientSession] = []
         self._mapper = HilbertKeyMapper(schema)
@@ -235,6 +245,25 @@ class VOLAPCluster:
             self.transport.messages_sent
         )
         r.gauge("volap_transport_bytes_sent").set(self.transport.bytes_sent)
+        if self.config.replication_factor > 0:
+            # replica gauges exist only when replication is on, so
+            # replication-free runs export their classic metric families
+            now = self.clock.now
+            for sid, holders in sorted(self.manager.replica_sets.items()):
+                for wid in sorted(holders):
+                    wm = self.zk.get(f"/replicas/{sid}/{wid}")
+                    if wm is None:
+                        continue
+                    r.gauge("volap_replica_lag", shard=sid, worker=wid).set(
+                        max(0.0, now - wm[2])
+                    )
+            for wid, w in self.workers.items():
+                r.gauge("volap_worker_replicas", worker=wid).set(
+                    len(w.replicas)
+                )
+                r.gauge("volap_worker_replica_queries", worker=wid).set(
+                    w.replica_queries
+                )
 
     # -- wiring helpers --------------------------------------------------------
 
@@ -251,6 +280,9 @@ class VOLAPCluster:
             store_cls=self.config.store_cls,
         )
         self.workers[wid] = w
+        # the shared directory lets a demoted primary address its
+        # handoff to whichever worker took over (includes late joiners)
+        w.peers = self.workers
         w.publish_stats()
         if self.config.heartbeat_period > 0:
             w.start_heartbeat(
@@ -357,8 +389,10 @@ class VOLAPCluster:
 
     def crash_worker(self, wid: int) -> None:
         """Fail-stop worker ``wid``: state lost, messages black-holed.
-        The manager detects the expired heartbeat and restores the
-        worker's shards from checkpoints onto survivors."""
+        The manager detects the expired heartbeat and re-homes the
+        worker's shards onto survivors -- promoting the freshest live
+        replica where one exists (a metadata flip), deserializing the
+        latest checkpoint otherwise."""
         self.workers[wid].crash()
 
     def restart_worker(self, wid: int) -> None:
@@ -496,7 +530,9 @@ class _QuerySink:
     def receive(self, msg: Message) -> None:
         if msg.kind != "query_done":
             return
-        op_id, submit_time, agg, searched, coverage, achieved = msg.payload
+        (
+            op_id, submit_time, agg, searched, coverage, achieved, staleness,
+        ) = msg.payload
         if op_id in self._results:
             return  # duplicate reply (e.g. a late deadline partial)
         self._results[op_id] = (agg, achieved)
@@ -509,6 +545,7 @@ class _QuerySink:
                 shards_searched=searched,
                 result_count=agg.count,
                 achieved=achieved,
+                staleness=staleness,
             )
         )
 

@@ -95,6 +95,18 @@ class CostModel:
         the cost-driven balancer policy to budget maintenance work."""
         return self.serialize_time(items) + self.deserialize_time(items)
 
+    def replicate_apply_time(self, items: int, stats: OpStats) -> float:
+        """Applying a teed replication batch on a replica: the same
+        batched-insert work as the primary paid, minus the per-row
+        dedup/route dispatch (rows arrive pre-resolved)."""
+        return self.batch_item * items + self.work_unit * stats.work
+
+    def promote_time(self) -> float:
+        """Replica promotion is a metadata flip -- re-tag the in-memory
+        store and publish the znode -- so it costs one base dispatch,
+        not a deserialization."""
+        return self.insert_base
+
     # -- server -----------------------------------------------------------
 
     def route_time(self, image_nodes: int) -> float:

@@ -194,6 +194,26 @@ class FaultInjector:
                 copies = [c + rule.extra_delay for c in copies]
         return copies
 
+    def blocked(self, src_name: str, dst_name: str, kind: str = "") -> bool:
+        """Would a message between these endpoints be partitioned away?
+
+        Checks only deterministic (``prob == 1``) partition rules and
+        draws nothing from the generator, so probing it never perturbs
+        the fault stream.  Used to gate side channels that bypass the
+        transport -- most importantly the workers' synchronous Zookeeper
+        heartbeat writes, which must stop when the worker is partitioned
+        from the coordination service.
+        """
+        now = self.clock.now
+        for rule in self.plan.rules:
+            if (
+                rule.action == "partition"
+                and rule.prob >= 1.0
+                and rule.matches(now, src_name, dst_name, kind)
+            ):
+                return True
+        return False
+
 
 @dataclass(frozen=True)
 class RetryPolicy:

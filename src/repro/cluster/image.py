@@ -55,6 +55,14 @@ class ShardInfo:
             return self.key
         return self.key.mbr()
 
+    @property
+    def primary_worker(self) -> int:
+        """Alias making the replication semantics explicit: the image's
+        ``worker_id`` always names the shard's *primary*; replicas are
+        advertised separately (watermarks under ``/replicas/``) and
+        never appear in the system image."""
+        return self.worker_id
+
     def to_wire(self) -> tuple:
         """Serialisable snapshot for the Zookeeper system image."""
         return (self.shard_id, key_to_wire(self.key), self.worker_id, self.size)

@@ -32,8 +32,10 @@ the manager.  Here it is one explicit machine:
 
 The machine owns epochs, timeouts, kind-matched completion (a stale
 ``split_done`` can never release a shard that is busy with a restore),
-two separate in-flight budgets (``max_inflight`` for splits+migrations,
-``max_inflight_restores`` for failover restores), span open/close, and
+three separate in-flight budgets (``max_inflight`` for
+splits+migrations, ``max_inflight_restores`` for failover restores and
+replica promotions, ``max_inflight_replications`` for replica
+placement), span open/close, and
 per-transition counters (``volap_lifecycle_transitions_total``).
 Everything is deterministic and driven by the simulation clock.
 """
@@ -77,8 +79,19 @@ _TRANSITIONS = {
     CUTOVER: {DONE, ABORTED, TIMED_OUT},
 }
 
-#: which budget each op kind draws from
-_BUDGET = {"split": "balance", "migrate": "balance", "restore": "restore"}
+#: which budget each op kind draws from.  Replica placement
+#: ("replicate") has its own pool so seeding K replicas per shard never
+#: starves splits or failover restores; promotion ("promote") shares the
+#: restore pool because both are the failover path -- a mass failure
+#: must not run more heal operations at once than the restore budget
+#: allows, whichever mechanism each shard uses.
+_BUDGET = {
+    "split": "balance",
+    "migrate": "balance",
+    "restore": "restore",
+    "replicate": "replica",
+    "promote": "restore",
+}
 
 
 @dataclass
@@ -131,14 +144,18 @@ class ShardOpMachine:
         #: in-flight budgets, set by the owner (manager) from its policy
         self.max_inflight = 4
         self.max_inflight_restores = 8
+        self.max_inflight_replications = 8
         #: give-up timer duration (virtual seconds)
         self.op_timeout = 10.0
         #: called with the op after a timeout is recorded, for protocol
         #: side effects (abort message, restore re-issue)
         self.on_timeout: Optional[Callable[[ShardOp], None]] = None
         self._epoch = 0
-        self._inflight = {"balance": 0, "restore": 0}
-        self.started = {"split": 0, "migrate": 0, "restore": 0}
+        self._inflight = {"balance": 0, "restore": 0, "replica": 0}
+        self.started = {
+            "split": 0, "migrate": 0, "restore": 0,
+            "replicate": 0, "promote": 0,
+        }
         self.timed_out = 0
         #: every op ever admitted, in admission order (terminal ops
         #: stay here for the invariant tests; the busy map does not)
@@ -164,6 +181,10 @@ class ShardOpMachine:
     def restore_inflight(self) -> int:
         return self._inflight["restore"]
 
+    @property
+    def replica_inflight(self) -> int:
+        return self._inflight["replica"]
+
     def quiescent(self) -> bool:
         return not self.ops
 
@@ -186,9 +207,11 @@ class ShardOpMachine:
         if shard_id in self.ops:
             return None
         pool = _BUDGET[kind]
-        limit = (
-            self.max_inflight if pool == "balance" else self.max_inflight_restores
-        )
+        limit = {
+            "balance": self.max_inflight,
+            "restore": self.max_inflight_restores,
+            "replica": self.max_inflight_replications,
+        }[pool]
         if self._inflight[pool] >= limit:
             return None
         self._epoch += 1

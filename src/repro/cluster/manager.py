@@ -48,6 +48,7 @@ class Manager(Entity):
         checkpoints: Optional[CheckpointStore] = None,
         heartbeat_period: Optional[float] = None,
         heartbeat_miss_k: int = 4,
+        replication_factor: int = 0,
     ):
         self.name = "manager"
         self.clock = clock
@@ -62,6 +63,26 @@ class Manager(Entity):
         self.heartbeat_miss_k = heartbeat_miss_k
         self.dead_workers: set[int] = set()
         self._seen_beat: set[int] = set()
+        #: revived workers serving out their probation: worker id ->
+        #: time the first post-death beat was seen.  A worker that was
+        #: declared dead but heartbeats again (restart, or a partition
+        #: that healed) is not trusted with placements until it has
+        #: beaten steadily for ``quarantine_period`` -- long enough for
+        #: its own reconcile pass to demote any stale primaries.
+        self.quarantine: dict[int, float] = {}
+        self.quarantine_period = (
+            2 * heartbeat_period if heartbeat_period else 0.0
+        )
+        self.rejoins = 0
+        #: asynchronous replicas per shard (0 = replication off)
+        self.replication_factor = replication_factor
+        #: shard id -> worker ids holding (or being seeded with) its
+        #: replicas; the manager's source of truth for placement
+        self.replica_sets: dict[int, set[int]] = {}
+        self._replica_rr = 0
+        self.replications_started = 0
+        self.promotions_started = 0
+        self.promotions_done = 0
         #: shards awaiting a (re-)restore after their owner died
         self._pending_restores: set[int] = set()
         #: shard id -> worker that holds the accepted restored copy
@@ -111,11 +132,12 @@ class Manager(Entity):
             return
         self._check_failures()
         self._sync_worker_phases()
-        # retry restores that stalled (target died mid-restore, or no
-        # survivor existed when the owner was declared dead)
+        # retry heals that stalled (promotion target or restore target
+        # died mid-op, or no survivor existed at declaration time)
         for sid in sorted(self._pending_restores):
             if not self.lifecycle.busy(sid):
-                self._try_restore(sid)
+                self._heal_shard(sid)
+        self._ensure_replication()
         if self.lifecycle.balance_inflight >= self.policy.max_inflight:
             return
         state = self._worker_state()
@@ -148,6 +170,18 @@ class Manager(Entity):
 
     # -- failure detection / recovery (heartbeats + checkpoints) ----------
 
+    def _beating(self, wid: int) -> bool:
+        """Whether ``wid``'s ephemeral heartbeat znode is currently
+        live.  Guards promote/restore targets against the scan-order
+        race where two workers die in the same detection window: the
+        first ``_declare_dead`` heals shards before the second corpse
+        is declared, and would otherwise pick it as a destination (the
+        op then only unwinds via its timeout).  With heartbeats
+        disabled nobody is ever declared dead, so everyone counts."""
+        if self.heartbeat_period is None:
+            return True
+        return self.zk.get(f"/heartbeats/{wid}") is not None
+
     def _check_failures(self) -> None:
         """Declare workers dead when their ephemeral heartbeat znode has
         expired (K missed beats), then restore their shards."""
@@ -158,9 +192,22 @@ class Manager(Entity):
             if beat is not None:
                 self._seen_beat.add(wid)
                 if wid in self.dead_workers:
-                    # the worker restarted and is heartbeating again
-                    self.dead_workers.discard(wid)
+                    # the worker is heartbeating again: either it
+                    # restarted empty, or it was alive all along behind
+                    # a partition that healed.  Either way it rejoins
+                    # only after its probation (see ``quarantine``).
+                    if wid not in self.quarantine:
+                        self.quarantine[wid] = self.clock.now
+                    elif (
+                        self.clock.now - self.quarantine[wid]
+                        >= self.quarantine_period
+                    ):
+                        self.dead_workers.discard(wid)
+                        del self.quarantine[wid]
+                        self.rejoins += 1
                 continue
+            # its beat lapsed (again): probation, if any, starts over
+            self.quarantine.pop(wid, None)
             if wid in self._seen_beat and wid not in self.dead_workers:
                 self._declare_dead(wid)
 
@@ -168,6 +215,23 @@ class Manager(Entity):
         self.dead_workers.add(wid)
         self.failovers_handled += 1
         self.zk.delete(f"/stats/workers/{wid}")
+        # stop counting the dead worker as a replica holder, and detach
+        # it from every live primary's stream (best effort)
+        for sid, holders in self.replica_sets.items():
+            if wid not in holders:
+                continue
+            holders.discard(wid)
+            data = self.zk.get(f"/shards/{sid}")
+            owner = data[2] if data is not None else None
+            if (
+                owner is not None
+                and owner in self.workers
+                and owner not in self.dead_workers
+            ):
+                self.transport.send(
+                    self.workers[owner],
+                    Message("replica_remove", (sid, wid), sender=self),
+                )
         lost = []
         for name in self.zk.ls("/shards"):
             data = self.zk.get(f"/shards/{name}")
@@ -177,7 +241,75 @@ class Manager(Entity):
         for sid in sorted(lost):
             self._pending_restores.add(sid)
             self._restored_to.pop(sid, None)
+            self._heal_shard(sid)
+
+    def _heal_shard(self, sid: int) -> None:
+        """Re-home a shard whose primary died: promote the freshest live
+        replica (a metadata flip, no checkpoint deserialization), or
+        fall back to a checkpoint restore when no live replica exists.
+        A no-op when the shard is busy; the periodic scan retries."""
+        if self.lifecycle.busy(sid):
+            return
+        data = self.zk.get(f"/shards/{sid}")
+        if data is not None:
+            owner = data[2]
+            owner_stats = self.zk.get(f"/stats/workers/{owner}")
+            if (
+                owner not in self.dead_workers
+                and self.zk.get(f"/heartbeats/{owner}") is not None
+                and owner_stats is not None
+                and sid in owner_stats.get("shards", {})
+            ):
+                # already healed (e.g. a promote_done was lost in
+                # flight but the metadata flip itself landed): the
+                # named owner is alive and really holds the shard -- a
+                # restarted-empty owner would not list it
+                self._pending_restores.discard(sid)
+                return
+        cands = [
+            w
+            for w in sorted(self.replica_sets.get(sid, ()))
+            if w in self.workers
+            and w not in self.dead_workers
+            and w not in self.quarantine
+            and self._beating(w)
+        ]
+        if not cands:
             self._try_restore(sid)
+            return
+        if (
+            self.lifecycle.restore_inflight
+            >= self.lifecycle.max_inflight_restores
+        ):
+            return  # promotion shares the failover budget
+
+        def freshness(w: int) -> tuple:
+            wm = self.zk.get(f"/replicas/{sid}/{w}")
+            if wm is None:
+                return (-1, -1.0, -w)
+            return (wm[1], wm[2], -w)  # (frontier, watermark time)
+
+        best = max(cands, key=freshness)
+        op = self.lifecycle.admit("promote", sid, dst=best)
+        if op is None:
+            return
+        # bump the shard's epoch *now*: it fences the dead primary's
+        # other replicas (and the primary itself, should the partition
+        # heal) even if this promotion attempt later times out
+        new_epoch = (self.zk.get(f"/epochs/{sid}") or 0) + 1
+        self.zk.set(f"/epochs/{sid}", new_epoch)
+        self.replica_sets[sid].discard(best)
+        self.promotions_started += 1
+        self.transport.send(
+            self.workers[best],
+            Message(
+                "promote_shard",
+                (sid, new_epoch, self),
+                sender=self,
+                ctx=op.span.ctx if op.span is not None else None,
+            ),
+        )
+        self.lifecycle.dispatched(sid)
 
     def _try_restore(self, sid: int) -> None:
         """Send the shard's checkpoint to an alive worker.  A no-op when
@@ -191,7 +323,11 @@ class Manager(Entity):
         ):
             return
         targets = sorted(
-            w for w in self.workers if w not in self.dead_workers
+            w
+            for w in self.workers
+            if w not in self.dead_workers
+            and w not in self.quarantine
+            and self._beating(w)
         )
         if not targets:
             return
@@ -202,6 +338,8 @@ class Manager(Entity):
         op = self.lifecycle.admit("restore", sid, dst=dst_id)
         if op is None:  # pragma: no cover - guarded above
             return
+        # fence any copy from the previous ownership epoch
+        self.zk.set(f"/epochs/{sid}", (self.zk.get(f"/epochs/{sid}") or 0) + 1)
         self.transport.send(
             self.workers[dst_id],
             Message(
@@ -214,6 +352,83 @@ class Manager(Entity):
         )
         self.lifecycle.dispatched(sid)
 
+    # -- replication ------------------------------------------------------
+
+    def _ensure_replication(self) -> None:
+        """Keep every settled shard at ``replication_factor`` replicas:
+        prune holders that died, then seed missing copies round-robin
+        over eligible workers (never the primary, never dead or
+        quarantined workers).  One seeding op per shard at a time, all
+        drawing from the dedicated ``replicate`` budget."""
+        if self.replication_factor <= 0:
+            return
+        for name in self.zk.ls("/shards"):
+            sid = int(name)
+            if self.lifecycle.busy(sid):
+                continue
+            data = self.zk.get(f"/shards/{sid}")
+            if data is None:
+                continue
+            owner = data[2]
+            if (
+                owner in self.dead_workers
+                or owner in self.quarantine
+                or owner not in self.workers
+            ):
+                continue
+            holders = self.replica_sets.setdefault(sid, set())
+            for w in list(holders):
+                if (
+                    w in self.dead_workers
+                    or w not in self.workers
+                    or w == owner
+                ):
+                    holders.discard(w)
+            if len(holders) >= self.replication_factor:
+                continue
+            if (
+                self.lifecycle.replica_inflight
+                >= self.lifecycle.max_inflight_replications
+            ):
+                return
+            cands = [
+                w
+                for w in sorted(self.workers)
+                if w != owner
+                and w not in holders
+                and w not in self.dead_workers
+                and w not in self.quarantine
+            ]
+            if not cands:
+                continue
+            self._replica_rr += 1
+            dst = cands[self._replica_rr % len(cands)]
+            op = self.lifecycle.admit("replicate", sid, src=owner, dst=dst)
+            if op is None:
+                return
+            self.replications_started += 1
+            self.transport.send(
+                self.workers[owner],
+                Message(
+                    "replicate_shard",
+                    (sid, self.workers[dst], dst, self),
+                    sender=self,
+                    ctx=op.span.ctx if op.span is not None else None,
+                ),
+            )
+            self.lifecycle.dispatched(sid)
+
+    def _reset_replicas(self, sid: int, keep: Optional[int] = None) -> None:
+        """Invalidate a shard's replica set (the stream epoch moved on:
+        promotion, migration, or split); survivors are told to discard
+        their copies and the scan re-seeds from the new primary."""
+        for w in self.replica_sets.pop(sid, set()):
+            if w != keep and w in self.workers and w not in self.dead_workers:
+                self.transport.send(
+                    self.workers[w],
+                    Message("drop_replica", (sid,), sender=self),
+                )
+
     # -- operations -----------------------------------------------------------
 
     def _on_op_timeout(self, op: ShardOp) -> None:
@@ -225,7 +440,32 @@ class Manager(Entity):
                 Message("migrate_abort", (op.shard_id,), sender=self),
             )
         if op.kind == "restore" and op.shard_id in self._pending_restores:
-            self._try_restore(op.shard_id)  # pick another survivor
+            self._heal_shard(op.shard_id)  # pick another survivor
+        if op.kind == "replicate" and op.dst is not None:
+            # the seed may be half-landed: discard the copy and detach
+            # the stream; the scan re-seeds from scratch
+            holders = self.replica_sets.get(op.shard_id)
+            if holders is not None:
+                holders.discard(op.dst)
+            if op.dst in self.workers and op.dst not in self.dead_workers:
+                self.transport.send(
+                    self.workers[op.dst],
+                    Message("drop_replica", (op.shard_id,), sender=self),
+                )
+            if (
+                op.src is not None
+                and op.src in self.workers
+                and op.src not in self.dead_workers
+            ):
+                self.transport.send(
+                    self.workers[op.src],
+                    Message("replica_remove", (op.shard_id, op.dst), sender=self),
+                )
+        if op.kind == "promote" and op.shard_id in self._pending_restores:
+            # the chosen replica never flipped (crashed mid-promotion,
+            # or the message was lost): try the next-freshest, or fall
+            # back to a checkpoint restore
+            self._heal_shard(op.shard_id)
 
     def _start_split(self, worker_id: int, shard_id: int) -> None:
         op = self.lifecycle.admit("split", shard_id, src=worker_id)
@@ -267,21 +507,54 @@ class Manager(Entity):
             shard_id, _low, _high, _wid = msg.payload
             if self.lifecycle.complete(shard_id, "split", ok=True):
                 self.stats.record_split(self.clock.now)
+                # the children start unreplicated; the parent's replicas
+                # hold a dead id
+                self._reset_replicas(shard_id)
         elif msg.kind == "migrate_done":
             shard_id, _src, _dst = msg.payload
             if self.lifecycle.complete(shard_id, "migrate", ok=True):
                 self.stats.record_migration(self.clock.now)
+                # the stream did not follow the move: re-seed
+                self._reset_replicas(shard_id)
         elif msg.kind in ("split_failed", "migrate_failed"):
             shard_id = msg.payload[0]
             self.lifecycle.complete(
                 shard_id, msg.kind.split("_")[0], ok=False
             )
+        elif msg.kind == "replicate_done":
+            shard_id, wid = msg.payload
+            if self.lifecycle.complete(shard_id, "replicate", ok=True):
+                self.replica_sets.setdefault(shard_id, set()).add(wid)
+        elif msg.kind == "replicate_failed":
+            shard_id, _wid = msg.payload
+            op = self.lifecycle.active(shard_id)
+            dst = op.dst if op is not None and op.kind == "replicate" else None
+            if self.lifecycle.complete(shard_id, "replicate", ok=False):
+                if dst is not None:
+                    self.replica_sets.get(shard_id, set()).discard(dst)
+        elif msg.kind == "promote_done":
+            shard_id, wid, _size = msg.payload
+            if self.lifecycle.complete(shard_id, "promote", ok=True):
+                self._pending_restores.discard(shard_id)
+                self.promotions_done += 1
+                self.stats.record_promotion(self.clock.now, shard_id, wid)
+                # surviving replicas carry the dead epoch: re-seed them
+                # from the new primary
+                self._reset_replicas(shard_id, keep=wid)
+        elif msg.kind == "promote_failed":
+            shard_id, _wid = msg.payload
+            if self.lifecycle.complete(shard_id, "promote", ok=False):
+                if shard_id in self._pending_restores:
+                    self._heal_shard(shard_id)
         elif msg.kind == "restore_done":
             shard_id, wid, _size = msg.payload
             self.lifecycle.complete(shard_id, "restore", ok=True)
             if shard_id in self._pending_restores:
                 self._pending_restores.discard(shard_id)
                 self.restores_done += 1
+            # any replica that outlived the old primary is fenced by the
+            # restore's epoch bump: drop and re-seed
+            self._reset_replicas(shard_id)
             # a timed-out attempt may have been re-issued and both copies
             # completed: keep the one the system image names, drop the other
             data = self.zk.get(f"/shards/{shard_id}")

@@ -53,6 +53,9 @@ class _PendingQuery:
     #: requested shards a worker answered for but no longer holds
     unresolved: int = 0
     span: object = None  # server.route_query obs span, None when off
+    #: worst estimated replica lag among the shards this query read
+    #: from a replica; 0.0 when every shard was served by its primary
+    staleness: float = 0.0
 
 
 @dataclass
@@ -84,6 +87,7 @@ class Server(Entity):
         image_fanout: int = 8,
         image_key_kind: str = "mbr",
         retry: Optional[RetryPolicy] = None,
+        max_staleness: Optional[float] = None,
     ):
         self.server_id = server_id
         self.name = f"server-{server_id}"
@@ -99,6 +103,11 @@ class Server(Entity):
             schema.num_dims, fanout=image_fanout, key_kind=image_key_kind
         )
         self.retry = retry if retry is not None else RetryPolicy()
+        #: cluster-default bounded-staleness budget applied to queries
+        #: that do not carry their own ``max_staleness``; ``None``
+        #: keeps every read on the primaries
+        self.max_staleness = max_staleness
+        self.replica_reads = 0
         self._rng = np.random.default_rng(10_000 + server_id)
         self._pending_queries: dict[int, _PendingQuery] = {}
         self._pending_inserts: dict[int, _PendingInsert] = {}
@@ -338,6 +347,86 @@ class Server(Entity):
         token, _shard_id = msg.payload
         self._retry_insert(token, refresh=True)
 
+    # -- bounded-staleness read routing (replication) --------------------------
+
+    def _replica_lag(
+        self, sid: int, wid: int, cur_epoch: int, head, now: float
+    ) -> Optional[float]:
+        """Estimated staleness of worker ``wid``'s replica of ``sid``,
+        or ``None`` when the copy is unusable (stale epoch, dead
+        holder, or no watermark yet).
+
+        The watermark ``(epoch, frontier, wm_time, beat_time)`` is what
+        the replica piggybacked on its last heartbeat; ``head`` is the
+        primary's ``(epoch, head_seq, beat_time)``.  A replica whose
+        frontier has caught the head is as fresh as the head beat;
+        otherwise it is as stale as its newest applied batch.
+        """
+        wm = self.zk.get(f"/replicas/{sid}/{wid}")
+        if wm is None or wm[0] != cur_epoch:
+            return None
+        if self.zk.get(f"/heartbeats/{wid}") is None:
+            return None
+        if head is not None and head[0] == cur_epoch and wm[1] >= head[1]:
+            return max(0.0, now - head[2])
+        return max(0.0, now - wm[2])
+
+    def _pick_target(
+        self, info: ShardInfo, budget: float, now: float
+    ) -> tuple[int, float]:
+        """Choose which worker serves a shard's read under a staleness
+        budget.  The budget is an explicit opt-in to stale reads, so any
+        replica whose estimated lag fits takes the read unless the
+        primary is strictly less loaded; a dead primary is covered by
+        the freshest fitting replica.  Returns ``(worker_id,
+        staleness)``."""
+        sid = info.shard_id
+        primary = info.primary_worker
+        cur_epoch = self.zk.get(f"/epochs/{sid}") or 0
+        head = self.zk.get(f"/repl/heads/{sid}")
+        fitting = []
+        for name in self.zk.ls(f"/replicas/{sid}"):
+            wid = int(name)
+            lag = self._replica_lag(sid, wid, cur_epoch, head, now)
+            if lag is None or lag > budget:
+                continue
+            stats = self.zk.get(f"/stats/workers/{wid}")
+            backlog = stats.get("backlog", 0) if stats is not None else 0
+            fitting.append((lag, backlog, wid))
+        if not fitting:
+            return primary, 0.0
+        primary_stats = self.zk.get(f"/stats/workers/{primary}")
+        if (
+            self.zk.get(f"/heartbeats/{primary}") is None
+            or primary_stats is None
+        ):
+            lag, _, wid = min(fitting)  # freshest replica
+            return wid, lag
+        least = min(fitting, key=lambda t: (t[1], t[0], t[2]))
+        if least[1] <= primary_stats.get("backlog", 0):
+            return least[2], least[0]
+        return primary, 0.0
+
+    def _route_shards(
+        self, infos: list[ShardInfo], budget: Optional[float]
+    ) -> tuple[dict[int, list[int]], float]:
+        """Group a query's shards by serving worker, optionally routing
+        through replicas under a staleness ``budget``; returns the
+        fan-out map and the worst staleness taken on."""
+        by_worker: dict[int, list[int]] = {}
+        staleness = 0.0
+        now = self.clock.now
+        for info in infos:
+            if budget is not None:
+                wid, lag = self._pick_target(info, budget, now)
+                if wid != info.primary_worker:
+                    self.replica_reads += 1
+                    staleness = max(staleness, lag)
+            else:
+                wid = info.worker_id
+            by_worker.setdefault(wid, []).append(info.shard_id)
+        return by_worker, staleness
+
     def _on_client_query(self, msg: Message) -> None:
         op_id, query, reply_to = msg.payload
         token = self._next_token()
@@ -358,9 +447,10 @@ class Server(Entity):
                 service, lambda: self._finish_query(pending)
             )
             return
-        by_worker: dict[int, list[int]] = {}
-        for info in infos:
-            by_worker.setdefault(info.worker_id, []).append(info.shard_id)
+        budget = getattr(query, "max_staleness", None)
+        if budget is None:
+            budget = self.max_staleness
+        by_worker, staleness = self._route_shards(infos, budget)
         pending = _PendingQuery(
             token,
             op_id,
@@ -372,6 +462,7 @@ class Server(Entity):
             {wid: len(sids) for wid, sids in by_worker.items()},
             len(infos),
             span=span,
+            staleness=staleness,
         )
         self._pending_queries[token] = pending
         box_t = query.box.to_tuple()
@@ -429,9 +520,10 @@ class Server(Entity):
                     )
                 )
                 continue
-            grouped: dict[int, list[int]] = {}
-            for info in infos:
-                grouped.setdefault(info.worker_id, []).append(info.shard_id)
+            budget = getattr(query, "max_staleness", None)
+            if budget is None:
+                budget = self.max_staleness
+            grouped, staleness = self._route_shards(infos, budget)
             pending = _PendingQuery(
                 token,
                 op_id,
@@ -443,6 +535,7 @@ class Server(Entity):
                 {wid: len(sids) for wid, sids in grouped.items()},
                 len(infos),
                 span=span,
+                staleness=staleness,
             )
             self._pending_queries[token] = pending
             box_t = query.box.to_tuple()
@@ -547,6 +640,7 @@ class Server(Entity):
                     pending.shards_searched,
                     pending.coverage,
                     achieved,
+                    pending.staleness,
                 ),
                 sender=self,
             ),

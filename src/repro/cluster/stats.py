@@ -42,6 +42,10 @@ class OpRecord:
     achieved: float = 1.0
     #: client-side send attempts (1 = no retransmits)
     attempts: int = 1
+    #: achieved read staleness (seconds): 0.0 for primary-served
+    #: queries, the worst estimated replica lag among the shards a
+    #: bounded-staleness query read from a replica
+    staleness: float = 0.0
 
     @property
     def latency(self) -> float:
@@ -66,6 +70,8 @@ class ClusterStats:
         self.failures = 0
         #: (time, worker_id, shards_restored) per declared worker failure
         self.failovers: list[tuple[float, int, int]] = []
+        #: (time, shard_id, new_primary_worker) per replica promotion
+        self.promotions: list[tuple[float, int, int]] = []
 
     # -- recording -----------------------------------------------------------
 
@@ -91,11 +97,23 @@ class ClusterStats:
                 "volap_query_shards_searched",
                 buckets=DEFAULT_COUNT_BUCKETS,
             ).observe(rec.shards_searched)
+            if rec.staleness > 0.0:
+                # registered lazily so replication-free runs export the
+                # exact metric families they always did
+                r.histogram(
+                    "volap_read_staleness_seconds",
+                    help="achieved staleness of replica-served reads",
+                ).observe(rec.staleness)
 
     def record_failover(self, time: float, worker_id: int, shards: int) -> None:
         self.failovers.append((time, worker_id, shards))
         self.registry.counter("volap_failovers_total").inc()
         self.registry.counter("volap_shards_lost_total").inc(shards)
+
+    def record_promotion(self, time: float, shard_id: int, worker_id: int) -> None:
+        """A replica was promoted to primary (metadata-flip failover)."""
+        self.promotions.append((time, shard_id, worker_id))
+        self.registry.counter("volap_promotions_total").inc()
 
     def record_split(self, time: float) -> None:
         self.splits += 1

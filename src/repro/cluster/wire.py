@@ -19,6 +19,7 @@ __all__ = [
     "key_from_wire",
     "BoundingKey",
     "QUERY_ROW_WIRE_BYTES",
+    "REPLICA_ROW_WIRE_BYTES",
 ]
 
 BoundingKey = Union[Box, MDS]
@@ -29,6 +30,12 @@ BoundingKey = Union[Box, MDS]
 #: server, and worker so every query-batch message charges the same
 #: per-row transfer cost.
 QUERY_ROW_WIRE_BYTES = 48
+
+#: estimated wire size of one replication-stream row -- (coords,
+#: measure, op id), the same shape as a wire-batch insert row (PR 2's
+#: format, which the replica stream reuses) plus the idempotency token
+#: the replica must retain for exactly-once promotion.
+REPLICA_ROW_WIRE_BYTES = 72
 
 
 def key_to_wire(key: BoundingKey) -> tuple:

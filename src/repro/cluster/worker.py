@@ -13,6 +13,14 @@ the load balancer's operations:
 * ``migrate_shard`` -- SerializeShard, network transfer (latency paid by
   blob size), DeserializeShard at the destination, queue hand-off, and
   a Zookeeper update that re-points servers at the new owner.
+
+Workers also run the asynchronous replication protocol: a primary tees
+every applied insert row onto a per-shard, per-epoch sequence-numbered
+stream feeding K replica workers (seeded by blob, kept current by the
+stream, retransmitted until cumulatively acknowledged); replicas track
+an applied-epoch watermark that is piggybacked on heartbeat writes so
+servers can route bounded-staleness reads, and a replica can be
+promoted to primary by a pure metadata flip when its primary dies.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from .cost import CostModel
 from .faults import CheckpointStore
 from .lifecycle import CUTOVER, INSTALLING, TRANSFERRING
 from .simclock import ServicePool, SimClock
-from .wire import QUERY_ROW_WIRE_BYTES, key_to_wire
+from .wire import QUERY_ROW_WIRE_BYTES, REPLICA_ROW_WIRE_BYTES, key_to_wire
 from .transport import Entity, Message, Transport
 from .zookeeper import Zookeeper
 
@@ -135,6 +143,9 @@ class ShardTransfer:
         w.shards[high_id] = high
         w.mapping[shard_id] = (plane, low_id, high_id)
         del w.shards[shard_id]
+        # the parent's replication stream dies with the parent id; the
+        # manager re-seeds replicas for the children
+        w._repl.pop(shard_id, None)
         queue = w.queues.pop(shard_id)
         w.frozen.discard(shard_id)
         for coords, m in queue.items().iter_rows():
@@ -166,6 +177,9 @@ class ShardTransfer:
         queue = w.queues.pop(shard_id, None)
         w.frozen.discard(shard_id)
         old = w.shards.pop(shard_id, None)
+        # the stream does not follow a migration; the manager drops the
+        # now-stale replicas and re-seeds them from the new owner
+        w._repl.pop(shard_id, None)
         if queue is not None and len(queue):
             w.transport.send(
                 dst,
@@ -241,6 +255,43 @@ class Worker(Entity):
         self.checkpoints: Optional[CheckpointStore] = None
         self.heartbeat_period: Optional[float] = None
         self.heartbeat_ttl: Optional[float] = None
+        # -- replication state --------------------------------------------
+        #: shard id -> read-only replica store fed by the insert stream
+        self.replicas: dict[int, ShardStore] = {}
+        #: primary-side stream state per replicated shard:
+        #: {"epoch", "head", "log": {seq: [rows, t_created, last_sent]},
+        #:  "peers": {worker id: {"entity", "acked"}}}
+        self._repl: dict[int, dict] = {}
+        #: replica-side stream state per held replica: {"epoch",
+        #: "frontier", "applied": set, "pending_t": {seq: t_created},
+        #: "wm_time"} -- ``wm_time`` is the primary-side creation time
+        #: of the newest contiguously applied batch (the watermark)
+        self._rstate: dict[int, dict] = {}
+        #: demoted-primary handoffs awaiting acknowledgement
+        self._handoffs: dict[int, dict] = {}
+        #: worker id -> entity directory, shared in by the cluster
+        #: wiring; used to address handoffs after a demotion
+        self.peers: dict[int, "Worker"] = {}
+        #: replication-stream retransmit period (virtual seconds)
+        self.repl_retry: float = 0.1
+        self._repl_timer_on = False
+        #: virtual time of the last successful heartbeat write; a gap
+        #: larger than the ttl means this worker was plausibly declared
+        #: dead and must reconcile its primariness (epoch fencing)
+        self._last_beat_write: Optional[float] = None
+        self.replica_queries = 0
+        self.replica_seeds = 0
+        self.promotions = 0
+        self.demotions = 0
+        #: checkpoint blobs deserialized by failover restores (the
+        #: promotion path must keep this at zero when replicas exist)
+        self.checkpoint_deserializations = 0
+        self.repl_batches_sent = 0
+        self.repl_rows_applied = 0
+        self.repl_rows_teed = 0
+        #: per-row tee-to-apply delay on this worker's replicas; what
+        #: the PBS freshness model consumes as a staleness distribution
+        self.repl_apply_lags: list[float] = []
 
     # -- crash / restart ---------------------------------------------------
 
@@ -258,6 +309,10 @@ class Worker(Entity):
         self.mapping.clear()
         self.frozen.clear()
         self._seen_ops.clear()
+        self.replicas.clear()
+        self._repl.clear()
+        self._rstate.clear()
+        self._handoffs.clear()
 
     def restart(self) -> None:
         """Rejoin empty; shards come back via manager-driven restores."""
@@ -277,12 +332,46 @@ class Worker(Entity):
 
     # -- heartbeats / checkpoints -----------------------------------------
 
+    def _zk_reachable(self) -> bool:
+        """Whether this worker can currently talk to Zookeeper.
+
+        Heartbeats are direct calls, not transport messages, so a
+        network partition must be checked explicitly -- otherwise an
+        isolated worker would keep looking alive forever.  Only
+        deterministic (``prob == 1``) partition rules apply; the check
+        draws nothing from the fault generator.
+        """
+        f = self.transport.faults
+        return f is None or not f.blocked(self.name, self.zk.name, "heartbeat")
+
     def _beat(self) -> None:
         if self.crashed or self.heartbeat_period is None:
             return
-        self.zk.set_ephemeral(
-            f"/heartbeats/{self.worker_id}", self.clock.now, self.heartbeat_ttl
+        if not self._zk_reachable():
+            return  # partitioned away: the ephemeral znode will expire
+        now = self.clock.now
+        lapsed = (
+            self._last_beat_write is not None
+            and self.heartbeat_ttl is not None
+            and now - self._last_beat_write > self.heartbeat_ttl
         )
+        self._last_beat_write = now
+        self.zk.set_ephemeral(
+            f"/heartbeats/{self.worker_id}", now, self.heartbeat_ttl
+        )
+        # piggyback replication watermarks on the liveness beat: the
+        # written prefixes are unwatched, so this schedules no events
+        for sid in list(self._rstate):
+            self._publish_watermark(sid)
+        for sid, st in self._repl.items():
+            if st["peers"]:
+                self.zk.set(
+                    f"/repl/heads/{sid}", (st["epoch"], st["head"], now)
+                )
+        if lapsed:
+            # we were silent long enough to have been declared dead:
+            # another worker may own our shards now (epoch fencing)
+            self._reconcile()
 
     def start_heartbeat(self, period: float, ttl: Optional[float] = None) -> None:
         """Publish liveness as an ephemeral znode refreshed every
@@ -322,6 +411,8 @@ class Worker(Entity):
     # -- sizes ------------------------------------------------------------
 
     def total_items(self) -> int:
+        """Primary-owned items only: replicas are copies, so counting
+        them would double-book the cluster's exactly-once totals."""
         return sum(len(s) for s in self.shards.values()) + sum(
             len(q) for q in self.queues.values()
         )
@@ -330,14 +421,16 @@ class Worker(Entity):
         """Push per-shard and total sizes to Zookeeper (paper III-B)."""
         if self.crashed:
             return
-        self.zk.set(
-            f"/stats/workers/{self.worker_id}",
-            {
-                "items": self.total_items(),
-                "shards": {sid: len(s) for sid, s in self.shards.items()},
-                "backlog": self.pool.backlog,
-            },
-        )
+        stats = {
+            "items": self.total_items(),
+            "shards": {sid: len(s) for sid, s in self.shards.items()},
+            "backlog": self.pool.backlog,
+        }
+        if self.replicas:
+            stats["replica_items"] = sum(
+                len(s) for s in self.replicas.values()
+            )
+        self.zk.set(f"/stats/workers/{self.worker_id}", stats)
 
     # -- shard id resolution through the mapping table -----------------------
 
@@ -418,6 +511,8 @@ class Worker(Entity):
         stats = target.insert(coords, measure)
         if op_id:
             self._seen_ops.add(op_id)
+        if sid not in self.frozen:
+            self._tee(sid, [(coords, measure, op_id)])
         self.inserts_done += 1
         service = self.cost.insert_time(stats)
 
@@ -448,7 +543,7 @@ class Worker(Entity):
         acked: list[int] = []
         nacked: list[tuple[int, int]] = []
         row_spans: list = []
-        groups: dict[int, list[tuple[np.ndarray, float]]] = {}
+        groups: dict[int, list[tuple[np.ndarray, float, object]]] = {}
         for shard_id, coords, measure, token, op_id, ctx in entries:
             if op_id and op_id in self._seen_ops:
                 self.dedup_hits += 1
@@ -468,7 +563,7 @@ class Worker(Entity):
                         batched=True,
                     )
                 )
-            groups.setdefault(sid, []).append((coords, measure))
+            groups.setdefault(sid, []).append((coords, measure, op_id))
             if op_id:
                 self._seen_ops.add(op_id)
             acked.append(token)
@@ -476,13 +571,15 @@ class Worker(Entity):
         stats = OpStats()
         for sid, rows in groups.items():
             batch = RecordBatch(
-                np.array([c for c, _ in rows], dtype=np.int64),
-                np.array([m for _, m in rows], dtype=np.float64),
+                np.array([c for c, _, _ in rows], dtype=np.int64),
+                np.array([m for _, m, _ in rows], dtype=np.float64),
             )
             target = (
                 self.queues[sid] if sid in self.frozen else self.shards[sid]
             )
             stats.merge(target.insert_batch(batch))
+            if sid not in self.frozen:
+                self._tee(sid, rows)
             applied += len(rows)
         self.inserts_done += applied
         service = self.cost.insert_batch_time(applied, stats)
@@ -530,6 +627,11 @@ class Worker(Entity):
             if target is None:
                 continue
             self._bulk_into(sid, target, sub, frozen=sid in self.frozen)
+            st = self._repl.get(sid)
+            if st is not None and st["peers"] and sid not in self.frozen:
+                # bulk rows carry no idempotency token (the batch-level
+                # token cannot dedup row-by-row on a promoted replica)
+                self._tee(sid, [(c, m, None) for c, m in sub.iter_rows()])
         self.inserts_done += len(batch)
         service = self.cost.bulk_time(len(batch))
         self._submit(
@@ -572,6 +674,12 @@ class Worker(Entity):
             hit = False
             for sid in self._resolve_query(requested):
                 store = self.shards.get(sid)
+                if store is None:
+                    # bounded-staleness read routed here by the server:
+                    # serve from the replica copy
+                    store = self.replicas.get(sid)
+                    if store is not None:
+                        self.replica_queries += 1
                 if store is not None:
                     tspan = None
                     if obs is not None:
@@ -645,11 +753,12 @@ class Worker(Entity):
                 buckets=DEFAULT_COUNT_BUCKETS,
             ).observe(len(entries))
         boxes: list[Box] = []
-        slots: list[list[tuple[int, bool]]] = []
+        slots: list[list[tuple[int, int]]] = []
         searched = [0] * len(entries)
         missing = [0] * len(entries)
-        # (shard id, is_queue) -> [(entry index, slot position)]
-        groups: dict[tuple[int, bool], list[tuple[int, int]]] = {}
+        # (shard id, source) -> [(entry index, slot position)] where
+        # source is 0 = primary shard, 1 = insertion queue, 2 = replica
+        groups: dict[tuple[int, int], list[tuple[int, int]]] = {}
         for e, (token, shard_ids, box_t, ctx) in enumerate(entries):
             if obs is not None:
                 spans.append(
@@ -658,17 +767,22 @@ class Worker(Entity):
                     )
                 )
             boxes.append(Box.from_tuple(box_t))
-            order: list[tuple[int, bool]] = []
+            order: list[tuple[int, int]] = []
             for requested in shard_ids:
                 hit = False
                 for sid in self._resolve_query(requested):
                     if sid in self.shards:
-                        order.append((sid, False))
+                        order.append((sid, 0))
                         searched[e] += 1
                         hit = True
+                    elif sid in self.replicas:
+                        order.append((sid, 2))
+                        searched[e] += 1
+                        hit = True
+                        self.replica_queries += 1
                     queue = self.queues.get(sid)
                     if queue is not None and len(queue):
-                        order.append((sid, True))
+                        order.append((sid, 1))
                         hit = True
                 if not hit:
                     missing[e] += 1
@@ -677,8 +791,14 @@ class Worker(Entity):
                 groups.setdefault(gkey, []).append((e, pos))
         results: dict[tuple[int, int], Aggregate] = {}
         total_stats = OpStats()
-        for (sid, is_queue), members in groups.items():
-            store = self.queues[sid] if is_queue else self.shards[sid]
+        for (sid, source), members in groups.items():
+            store = (
+                self.shards[sid]
+                if source == 0
+                else self.queues[sid]
+                if source == 1
+                else self.replicas[sid]
+            )
             group_stats = OpStats()
             res = store.query_batch([boxes[e] for e, _ in members])
             for (e, pos), (sub, stats) in zip(members, res):
@@ -865,6 +985,11 @@ class Worker(Entity):
             store = self.store_cls.deserialize(
                 self.schema, blob, self.tree_config
             )
+            self.checkpoint_deserializations += 1
+        # a restore target never also holds a replica of the shard (the
+        # manager prefers promotion then), but a stale copy from an
+        # earlier epoch must not shadow the restored primary
+        self._drop_replica_state(shard_id)
         self.transfer.announce(shard_id, INSTALLING)
         service = self.cost.deserialize_time(len(store))
 
@@ -885,6 +1010,429 @@ class Worker(Entity):
             )
 
         self._submit(service, ready)
+
+    # -- replication: primary side ---------------------------------------------
+
+    def _repl_state(self, shard_id: int, epoch: int) -> dict:
+        """The primary-side stream state for ``shard_id`` at ``epoch``,
+        created (or reset, when the epoch moved) on demand."""
+        st = self._repl.get(shard_id)
+        if st is None or st["epoch"] != epoch:
+            st = {"epoch": epoch, "head": 0, "log": {}, "peers": {}}
+            self._repl[shard_id] = st
+            self._start_repl_timer()
+        return st
+
+    def _start_repl_timer(self) -> None:
+        """Arm the retransmit tick, once, the first time this worker
+        becomes a replicating primary.  Replication-free runs never
+        reach this, so they schedule no extra events."""
+        if self._repl_timer_on:
+            return
+        self._repl_timer_on = True
+        self.clock.every(self.repl_retry, self._repl_tick)
+
+    def _tee(self, shard_id: int, rows: list) -> None:
+        """Append applied insert rows to the shard's replication stream.
+
+        ``rows`` is ``[(coords, measure, op_id), ...]`` -- PR 2's
+        wire-batch row shape plus the idempotency token, so a promoted
+        replica can dedup client retries exactly like the primary did.
+        Each call is one sequence-numbered batch, retained in the log
+        until every peer cumulatively acknowledges it.
+        """
+        st = self._repl.get(shard_id)
+        if st is None or not st["peers"]:
+            return
+        st["head"] += 1
+        seq = st["head"]
+        st["log"][seq] = [rows, self.clock.now, self.clock.now]
+        for peer in st["peers"].values():
+            self._send_repl(shard_id, st, seq, peer["entity"])
+        self.repl_batches_sent += len(st["peers"])
+        self.repl_rows_teed += len(rows)
+
+    def _send_repl(self, shard_id: int, st: dict, seq: int, entity) -> None:
+        rows, t_created, _ = st["log"][seq]
+        self.transport.send(
+            entity,
+            Message(
+                "replica_batch",
+                (shard_id, st["epoch"], seq, rows, t_created, self),
+                size=REPLICA_ROW_WIRE_BYTES * max(1, len(rows)),
+                sender=self,
+            ),
+        )
+
+    def _repl_tick(self) -> None:
+        """Retransmit unacknowledged stream batches and handoffs; trim
+        log entries every peer has acknowledged."""
+        if self.crashed:
+            return
+        now = self.clock.now
+        for sid, st in list(self._repl.items()):
+            self._trim_log(st)
+            peers = st["peers"].values()
+            for seq in sorted(st["log"]):
+                entry = st["log"][seq]
+                if now - entry[2] < self.repl_retry - 1e-12:
+                    continue
+                targets = [p for p in peers if p["acked"] < seq]
+                if not targets:
+                    continue
+                entry[2] = now
+                for p in targets:
+                    self._send_repl(sid, st, seq, p["entity"])
+                self.repl_batches_sent += len(targets)
+        for sid, h in list(self._handoffs.items()):
+            if now - h["last_sent"] >= self.repl_retry - 1e-12:
+                h["last_sent"] = now
+                self._send_handoff(sid, h)
+
+    @staticmethod
+    def _trim_log(st: dict) -> None:
+        peers = st["peers"]
+        floor = (
+            min(p["acked"] for p in peers.values()) if peers else st["head"]
+        )
+        for seq in [s for s in st["log"] if s <= floor]:
+            del st["log"][seq]
+
+    def _on_replicate_shard(self, msg: Message) -> None:
+        """Manager asked this primary to seed a replica of ``shard_id``
+        on ``dst``: register the peer (so the live stream starts
+        immediately), serialize a snapshot, ship it."""
+        shard_id, dst, dst_wid, reply_to = msg.payload
+        store = self.shards.get(shard_id)
+        if store is None or shard_id in self.frozen:
+            self.transport.send(
+                reply_to,
+                Message(
+                    "replicate_failed", (shard_id, self.worker_id), sender=self
+                ),
+            )
+            return
+        obs = self.transport.obs
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "worker.replicate", self.name, parent=msg.ctx, shard=shard_id
+            )
+        epoch = self.zk.get(f"/epochs/{shard_id}") or 0
+        st = self._repl_state(shard_id, epoch)
+        head = st["head"]
+        # the snapshot covers everything up to ``head``; rows applied
+        # while it serializes stream (and retransmit) their way over
+        st["peers"][dst_wid] = {"entity": dst, "acked": head}
+        blob = store.serialize()
+        service = self.cost.serialize_time(len(store))
+
+        def send_blob() -> None:
+            if obs is not None:
+                obs.finish_span(span, items=len(store))
+            self.transport.send(
+                dst,
+                Message(
+                    "replica_install",
+                    (shard_id, epoch, head, blob, self, reply_to),
+                    size=len(blob),
+                    sender=self,
+                ),
+            )
+
+        self._submit(service, send_blob)
+
+    def _on_replica_ack(self, msg: Message) -> None:
+        """Cumulative acknowledgement from a replica: everything up to
+        ``frontier`` arrived, so the log can shed it."""
+        shard_id, epoch, frontier, wid = msg.payload
+        st = self._repl.get(shard_id)
+        if st is None or st["epoch"] != epoch:
+            return
+        peer = st["peers"].get(wid)
+        if peer is None:
+            return
+        peer["acked"] = max(peer["acked"], frontier)
+        self._trim_log(st)
+
+    def _on_replica_remove(self, msg: Message) -> None:
+        """Manager pruned a (dead or stale) replica: stop streaming."""
+        shard_id, wid = msg.payload
+        st = self._repl.get(shard_id)
+        if st is not None:
+            st["peers"].pop(wid, None)
+            self._trim_log(st)
+
+    # -- replication: replica side ---------------------------------------------
+
+    def _on_replica_install(self, msg: Message) -> None:
+        """Install a seeded replica snapshot and start acknowledging."""
+        shard_id, epoch, head, blob, primary, reply_to = msg.payload
+        cur = self._rstate.get(shard_id)
+        if cur is not None and cur["epoch"] > epoch:
+            return  # a stale (pre-promotion) seed arrived late
+        if shard_id in self.shards:
+            return  # we were promoted while the blob was in flight
+        store = self.store_cls.deserialize(self.schema, blob, self.tree_config)
+        self.replica_seeds += 1
+        service = self.cost.deserialize_time(len(store))
+
+        def ready() -> None:
+            if shard_id in self.shards:
+                return
+            self.replicas[shard_id] = store
+            self._rstate[shard_id] = {
+                "epoch": epoch,
+                "frontier": head,
+                "applied": set(),
+                "pending_t": {},
+                "wm_time": self.clock.now,
+            }
+            if self._zk_reachable():
+                self._publish_watermark(shard_id)
+            self.transport.send(
+                reply_to,
+                Message(
+                    "replicate_done", (shard_id, self.worker_id), sender=self
+                ),
+            )
+            self.transport.send(
+                primary,
+                Message(
+                    "replica_ack",
+                    (shard_id, epoch, head, self.worker_id),
+                    sender=self,
+                ),
+            )
+
+        self._submit(service, ready)
+
+    def _on_replica_batch(self, msg: Message) -> None:
+        """Apply one sequence-numbered stream batch to a replica.
+
+        Epoch fencing: batches from an older epoch (a demoted primary
+        that does not know it yet) are dropped on the floor; duplicates
+        within the epoch are re-acked without applying.
+        """
+        shard_id, epoch, seq, rows, t_created, primary = msg.payload
+        if shard_id in self.shards:
+            return  # we are the primary now; fencing demotes the sender
+        st = self._rstate.get(shard_id)
+        if st is None or epoch != st["epoch"]:
+            return  # not seeded yet (retransmit returns) or fenced
+        if seq <= st["frontier"] or seq in st["applied"]:
+            self.transport.send(
+                primary,
+                Message(
+                    "replica_ack",
+                    (shard_id, epoch, st["frontier"], self.worker_id),
+                    sender=self,
+                ),
+            )
+            return
+        store = self.replicas.get(shard_id)
+        if store is None:  # pragma: no cover - defensive
+            return
+        batch = RecordBatch(
+            np.array([c for c, _, _ in rows], dtype=np.int64),
+            np.array([m for _, m, _ in rows], dtype=np.float64),
+        )
+        stats = store.insert_batch(batch)
+        for _, _, op_id in rows:
+            # remember the primary's idempotency tokens: a promoted
+            # replica must re-ack (not re-apply) client retries of
+            # inserts the dead primary already acknowledged
+            if op_id:
+                self._seen_ops.add(op_id)
+        st["applied"].add(seq)
+        st["pending_t"][seq] = t_created
+        while st["frontier"] + 1 in st["applied"]:
+            nxt = st["frontier"] + 1
+            st["applied"].remove(nxt)
+            st["frontier"] = nxt
+            st["wm_time"] = st["pending_t"].pop(nxt)
+        self.repl_rows_applied += len(rows)
+        lag = self.clock.now - t_created
+        self.repl_apply_lags.extend([lag] * len(rows))
+        service = self.cost.replicate_apply_time(len(rows), stats)
+
+        def ack() -> None:
+            cur = self._rstate.get(shard_id)
+            if cur is None or cur["epoch"] != epoch:
+                return
+            self.transport.send(
+                primary,
+                Message(
+                    "replica_ack",
+                    (shard_id, epoch, cur["frontier"], self.worker_id),
+                    sender=self,
+                ),
+            )
+
+        self._submit(service, ack)
+
+    def _publish_watermark(self, shard_id: int) -> None:
+        st = self._rstate.get(shard_id)
+        if st is None:
+            return
+        self.zk.set(
+            f"/replicas/{shard_id}/{self.worker_id}",
+            (st["epoch"], st["frontier"], st["wm_time"], self.clock.now),
+        )
+
+    def _drop_replica_state(self, shard_id: int) -> None:
+        had = self._rstate.pop(shard_id, None)
+        self.replicas.pop(shard_id, None)
+        if had is not None and self._zk_reachable():
+            self.zk.delete(f"/replicas/{shard_id}/{self.worker_id}")
+
+    def _on_drop_replica(self, msg: Message) -> None:
+        """Manager invalidated this copy (epoch moved on): discard it."""
+        self._drop_replica_state(msg.payload[0])
+
+    # -- replication: promotion and fencing --------------------------------------
+
+    def _on_promote_shard(self, msg: Message) -> None:
+        """Promote the local replica to primary: a pure metadata flip.
+
+        The store is re-tagged in memory, the system image re-pointed,
+        and a fresh stream epoch opened -- no checkpoint blob is ever
+        deserialized on this path.
+        """
+        shard_id, new_epoch, reply_to = msg.payload
+        store = self.replicas.pop(shard_id, None)
+        self._rstate.pop(shard_id, None)
+        if store is None:
+            if shard_id in self.shards:
+                # duplicated promote: already flipped, just re-ack
+                self.transport.send(
+                    reply_to,
+                    Message(
+                        "promote_done",
+                        (shard_id, self.worker_id, len(self.shards[shard_id])),
+                        sender=self,
+                    ),
+                )
+                return
+            self.transport.send(
+                reply_to,
+                Message(
+                    "promote_failed", (shard_id, self.worker_id), sender=self
+                ),
+            )
+            return
+        obs = self.transport.obs
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "worker.promote", self.name, parent=msg.ctx, shard=shard_id
+            )
+        self.shards[shard_id] = store
+        self._repl_state(shard_id, new_epoch)
+        self.promotions += 1
+        if self._zk_reachable():
+            self.zk.delete(f"/replicas/{shard_id}/{self.worker_id}")
+        service = self.cost.promote_time()
+
+        def flip() -> None:
+            if shard_id not in self.shards:
+                return  # crashed (or lost it again) mid-promotion
+            self._publish_shard(shard_id)
+            self.publish_stats()
+            if obs is not None:
+                obs.finish_span(span, items=len(store))
+            self.transport.send(
+                reply_to,
+                Message(
+                    "promote_done",
+                    (shard_id, self.worker_id, len(store)),
+                    sender=self,
+                ),
+            )
+
+        self._submit(service, flip)
+
+    def _reconcile(self) -> None:
+        """After a liveness lapse long enough to be declared dead, check
+        every held shard against the system image and demote copies the
+        cluster re-homed while this worker was away.  This is the other
+        half of epoch fencing: a healed partition can never leave two
+        workers both acting as a shard's primary.
+        """
+        for sid in sorted(self.shards):
+            if sid in self.frozen:
+                continue
+            data = self.zk.get(f"/shards/{sid}")
+            if data is None or data[2] == self.worker_id:
+                continue
+            self._demote(sid, data[2])
+
+    def _demote(self, shard_id: int, new_owner: int) -> None:
+        """Drop primariness of ``shard_id`` in favour of ``new_owner``,
+        handing off any retained stream suffix the new owner has not
+        acknowledged (op-id dedup there keeps the effect exactly-once).
+        """
+        store = self.shards.pop(shard_id, None)
+        self.queues.pop(shard_id, None)
+        self.frozen.discard(shard_id)
+        st = self._repl.pop(shard_id, None)
+        if store is None:
+            return
+        self.demotions += 1
+        rows: list = []
+        if st is not None:
+            peer = st["peers"].get(new_owner)
+            acked = peer["acked"] if peer is not None else 0
+            for seq in sorted(st["log"]):
+                if seq > acked:
+                    rows.extend(st["log"][seq][0])
+        if rows:
+            h = {"rows": rows, "dst": new_owner, "last_sent": self.clock.now}
+            self._handoffs[shard_id] = h
+            self._send_handoff(shard_id, h)
+
+    def _send_handoff(self, shard_id: int, h: dict) -> None:
+        entity = self.peers.get(h["dst"])
+        if entity is None or entity.crashed:
+            self._handoffs.pop(shard_id, None)
+            return
+        self.transport.send(
+            entity,
+            Message(
+                "primary_handoff",
+                (shard_id, h["rows"], self),
+                size=REPLICA_ROW_WIRE_BYTES * len(h["rows"]),
+                sender=self,
+            ),
+        )
+
+    def _on_primary_handoff(self, msg: Message) -> None:
+        """A demoted primary forwarded the stream suffix we never saw:
+        apply the rows we do not already have (by op id) and ack."""
+        shard_id, rows, src = msg.payload
+        target = None
+        if shard_id in self.frozen:
+            target = self.queues.get(shard_id)
+        elif shard_id in self.shards:
+            target = self.shards[shard_id]
+        if target is not None:
+            applied = []
+            for coords, measure, op_id in rows:
+                if op_id and op_id in self._seen_ops:
+                    self.dedup_hits += 1
+                    continue
+                target.insert(coords, measure)
+                if op_id:
+                    self._seen_ops.add(op_id)
+                applied.append((coords, measure, op_id))
+            if applied and shard_id not in self.frozen:
+                self._tee(shard_id, applied)
+        self.transport.send(
+            src, Message("handoff_ack", (shard_id,), sender=self)
+        )
+
+    def _on_handoff_ack(self, msg: Message) -> None:
+        self._handoffs.pop(msg.payload[0], None)
 
     # -- zookeeper helpers -----------------------------------------------------
 

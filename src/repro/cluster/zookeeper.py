@@ -35,6 +35,11 @@ class ZNode:
 class Zookeeper:
     """In-process coordination service with simulated latencies."""
 
+    #: entity name for fault-rule matching (``FaultPlan.isolate("worker-1")``
+    #: must also cut that worker's heartbeat writes, which are direct
+    #: calls rather than transport messages)
+    name = "zookeeper"
+
     def __init__(
         self,
         clock: SimClock,

@@ -34,11 +34,18 @@ class Query:
     coverage:
         The measured fraction of database items covered (filled in by the
         workload generator when binning queries; ``nan`` until measured).
+    max_staleness:
+        Optional bounded-staleness budget (virtual seconds).  ``None``
+        means the query must be served by shard primaries; a value
+        allows the server to route a shard's read to an asynchronous
+        replica whose estimated lag fits the budget (the achieved
+        staleness comes back with the result).
     """
 
     box: Box
     coverage: float = float("nan")
     query_id: int = -1
+    max_staleness: "float | None" = None
 
     @property
     def num_dims(self) -> int:

@@ -51,6 +51,8 @@ def chaos_cluster(
     checkpoint_period=0.4,
     retry=CHAOS_RETRY,
     max_shard_items=100_000,  # keep the balancer quiet unless wanted
+    replication_factor=0,
+    max_staleness=None,
 ):
     cfg = ClusterConfig(
         num_workers=workers,
@@ -63,6 +65,8 @@ def chaos_cluster(
         heartbeat_period=heartbeat_period,
         heartbeat_miss_k=heartbeat_miss_k,
         checkpoint_period=checkpoint_period,
+        replication_factor=replication_factor,
+        max_staleness=max_staleness,
         seed=seed,
     )
     cluster = VOLAPCluster(schema, cfg)
@@ -256,6 +260,261 @@ class TestPartition:
         assert cluster.total_items() == len(batch) + len(extra)
         # the partition really blocked traffic: retransmits happened
         assert sess.retries + cluster.servers[0].insert_timeouts > 0
+
+    def test_healed_partition_cannot_yield_two_primaries(self, schema):
+        """A partitioned-but-alive primary is declared dead and its
+        replicas are promoted; when the partition heals the old primary
+        notices the lapse, sees the new epochs, demotes itself, and
+        rejoins through quarantine -- never serving as a second primary."""
+        cluster, batch = chaos_cluster(
+            schema, n_items=1000, seed=3, replication_factor=1
+        )
+        cluster.run_for(2.0)  # replicas seeded
+        drain_replication(cluster)
+        held = set(cluster.workers[0].shards)
+        assert held
+        start = cluster.clock.now
+        cluster.inject_faults(
+            FaultPlan().isolate("worker-0", start=start, end=start + 1.2),
+            seed=43,
+        )
+        cluster.run_for(1.2)
+        # behind the partition: heartbeats lapsed, death declared, and
+        # every shard worker 0 owned now runs on a promoted replica
+        assert 0 in cluster.manager.dead_workers
+        assert cluster.manager.promotions_done >= len(held)
+        # ...but worker 0 itself is alive and still holds its copies
+        assert not cluster.workers[0].crashed
+        # partition heals: the next beat detects the lapse, reconciles
+        # against the flipped znodes, and steps down everywhere
+        cluster.run_for(2.0)
+        assert cluster.workers[0].demotions == len(held)
+        assert not (held & set(cluster.workers[0].shards))
+        assert_single_primary(cluster)
+        # quarantine probation elapsed on steady beats: full member again
+        assert 0 not in cluster.manager.dead_workers
+        assert cluster.manager.rejoins >= 1
+        assert cluster.total_items() == len(batch)
+        rec = run_one_query(cluster, schema)
+        assert rec.achieved == 1.0 and rec.result_count == len(batch)
+
+
+#: the whole replication / failover protocol surface, for fault plans
+REPL_KINDS = {
+    "replicate_shard",
+    "replica_install",
+    "replica_batch",
+    "replica_ack",
+    "replicate_done",
+    "promote_shard",
+    "promote_done",
+    "primary_handoff",
+    "handoff_ack",
+}
+
+
+def live_primaries(cluster, sid):
+    """Live workers currently serving ``sid`` as a primary."""
+    return [
+        wid
+        for wid, w in cluster.workers.items()
+        if not w.crashed and sid in w.shards
+    ]
+
+
+def assert_single_primary(cluster):
+    """Every published shard is primaried by exactly one live worker."""
+    for name in cluster.zk.ls("/shards"):
+        sid = int(name)
+        owners = live_primaries(cluster, sid)
+        assert len(owners) == 1, f"shard {sid} primaried by {owners}"
+        assert cluster.zk.get(f"/shards/{sid}")[2] == owners[0]
+
+
+def drain_replication(cluster, max_virtual=10.0):
+    """Run until every primary's replication log is fully acked."""
+    horizon = cluster.clock.now + max_virtual
+    while cluster.clock.now < horizon:
+        logs = [
+            st["log"]
+            for w in cluster.workers.values()
+            if not w.crashed
+            for st in w._repl.values()
+        ]
+        if logs and all(not log for log in logs):
+            return
+        cluster.run_for(0.1)
+    raise AssertionError("replication stream never drained")
+
+
+class TestReplication:
+    def test_replicas_seed_and_stream_catches_up(self, schema):
+        """Every settled shard gets K=1 async replicas seeded from the
+        live insert stream; after quiescing, each replica's watermark
+        frontier has caught the primary's head."""
+        cluster, batch = chaos_cluster(
+            schema, n_items=1200, seed=3, replication_factor=1
+        )
+        cluster.run_for(2.0)  # seed replicas
+        assert {int(s) for s in cluster.zk.ls("/shards")} == set(
+            cluster.manager.replica_sets
+        )
+        assert all(
+            len(h) == 1 for h in cluster.manager.replica_sets.values()
+        )
+        extra = random_batch(schema, 200, seed=17)
+        sess = cluster.session(0, concurrency=4)
+        sess.run_stream(insert_ops(extra))
+        cluster.run_until_clients_done(max_virtual=120.0)
+        drain_replication(cluster)
+        cluster.run_for(0.3)  # one more beat publishes final watermarks
+        applied = sum(w.repl_rows_applied for w in cluster.workers.values())
+        assert applied == len(extra)  # streamed exactly once, no re-seeds
+        assert sum(w.repl_batches_sent for w in cluster.workers.values()) > 0
+        for sid in cluster.manager.replica_sets:
+            head = cluster.zk.get(f"/repl/heads/{sid}")
+            (holder,) = cluster.manager.replica_sets[sid]
+            wm = cluster.zk.get(f"/replicas/{sid}/{holder}")
+            assert wm is not None and head is not None
+            assert wm[0] == head[0]  # same epoch
+            assert wm[1] >= head[1]  # frontier caught the head
+        # replica copies hold exactly the primary's data
+        for wid, w in cluster.workers.items():
+            for sid, store in w.replicas.items():
+                owner = cluster.zk.get(f"/shards/{sid}")[2]
+                assert len(store) == len(cluster.workers[owner].shards[sid])
+
+    def test_crash_promotes_replica_without_checkpoints(self, schema):
+        """Primary death heals by promoting the freshest replica: a
+        metadata flip with zero checkpoint deserializations, after which
+        reads see the full database again."""
+        cluster, batch = chaos_cluster(
+            schema, n_items=1500, seed=3, replication_factor=1
+        )
+        cluster.run_for(2.0)
+        extra = random_batch(schema, 150, seed=19)
+        sess = cluster.session(0, concurrency=4)
+        sess.run_stream(insert_ops(extra))
+        cluster.run_until_clients_done(max_virtual=120.0)
+        drain_replication(cluster)  # no acked row may ride only on w0
+        lost = set(cluster.workers[0].shards)
+        assert lost
+        cluster.crash_worker(0)
+        cluster.run_for(3.0)
+        assert cluster.manager.promotions_done == len(lost)
+        assert len(cluster.stats.promotions) == len(lost)
+        assert (
+            sum(w.checkpoint_deserializations for w in cluster.workers.values())
+            == 0
+        ), "promotion path touched a checkpoint blob"
+        assert cluster.manager._pending_restores == set()
+        assert_single_primary(cluster)
+        assert cluster.total_items() == len(batch) + len(extra)
+        rec = run_one_query(cluster, schema)
+        assert rec.achieved == 1.0
+        assert rec.result_count == len(batch) + len(extra)
+
+    def test_no_replica_falls_back_to_restore(self, schema):
+        """With replication off the heal path degrades gracefully to the
+        checkpoint restore of the seed code path."""
+        cluster, batch = chaos_cluster(
+            schema, n_items=1000, seed=3, replication_factor=0
+        )
+        cluster.run_for(1.0)
+        cluster.crash_worker(0)
+        cluster.run_for(3.0)
+        assert cluster.manager.promotions_done == 0
+        assert (
+            sum(w.checkpoint_deserializations for w in cluster.workers.values())
+            > 0
+        )
+        assert cluster.manager._pending_restores == set()
+        assert cluster.total_items() == len(batch)
+        assert_single_primary(cluster)
+
+    def test_bounded_staleness_reads_offload_to_replicas(self, schema):
+        """Under sustained insert load, queries carrying a staleness
+        budget offload to less-loaded replicas; every recorded query's
+        achieved staleness stays within the budget."""
+        from repro.olap.query import full_query as fq
+
+        budget = 1.0
+        cluster, batch = chaos_cluster(
+            schema, n_items=1500, seed=3, replication_factor=1
+        )
+        cluster.run_for(2.0)
+        extra = random_batch(schema, 400, seed=23)
+        writer = cluster.session(0, concurrency=16)
+        writer.run_stream(insert_ops(extra))
+        reader = cluster.session(0, concurrency=2)
+        queries = []
+        for _ in range(30):
+            q = fq(schema)
+            q.max_staleness = budget
+            queries.append(Operation("query", query=q))
+        reader.run_stream(queries)
+        cluster.run_until_clients_done(max_virtual=300.0)
+        recs = cluster.stats.select(kind="query")
+        assert len(recs) == 30
+        assert all(r.staleness <= budget + 1e-9 for r in recs)
+        served = cluster.servers[0].replica_reads
+        assert served > 0, "no query ever offloaded to a replica"
+        assert any(r.staleness > 0.0 for r in recs)
+        # queries without a budget never touch replicas: primaries only
+        assert all(
+            r.staleness == 0.0
+            for r in cluster.stats.select(kind="insert")
+        )
+
+    def test_crash_during_promotion_single_primary(self, schema):
+        """The full fault matrix (drop + duplicate + delay on the whole
+        replication surface) plus a crash of the promotion target itself:
+        the manager falls to the next-freshest replica or a checkpoint,
+        and at quiescence every shard has exactly one primary and no
+        acknowledged insert is lost."""
+        cluster, batch = chaos_cluster(
+            schema, n_items=1200, seed=3, replication_factor=2
+        )
+        cluster.run_for(2.5)  # seed two replicas of every shard
+        cluster.inject_faults(
+            FaultPlan()
+            .drop(0.08, kinds=REPL_KINDS)
+            .duplicate(0.15, kinds=REPL_KINDS)
+            .delay(0.10, extra=0.05),
+            seed=29,
+        )
+        extra = random_batch(schema, 120, seed=31)
+        sess = cluster.session(0, concurrency=4)
+        sess.run_stream(insert_ops(extra))
+        cluster.run_until_clients_done(max_virtual=300.0)
+        drain_replication(cluster, max_virtual=30.0)
+        cluster.crash_worker(0)
+        # catch the heal mid-flight and kill the promotion target too
+        target = None
+        for _ in range(500_000):
+            ops = [
+                op
+                for op in cluster.manager.lifecycle.ops.values()
+                if op.kind == "promote"
+            ]
+            if ops:
+                target = ops[0].dst
+                break
+            if not cluster.clock.step():
+                break
+        assert target is not None, "no promotion was ever attempted"
+        cluster.crash_worker(target)
+        cluster.run_for(10.0)
+        cluster.clear_faults()
+        cluster.run_for(8.0)
+        assert cluster.manager._pending_restores == set()
+        assert cluster.manager.lifecycle.quiescent()
+        assert_single_primary(cluster)
+        acked = [r for r in cluster.stats.select(kind="insert") if r.ok]
+        assert cluster.total_items() == len(batch) + len(acked)
+        rec = run_one_query(cluster, schema)
+        assert rec.achieved == 1.0
+        assert rec.result_count == len(batch) + len(acked)
 
 
 class TestZeroOverhead:

@@ -96,3 +96,92 @@ class TestPBSSimulator:
         assert res.time_to_fresh() == 0.1
         res2 = PBSResult(np.array([0.0]), np.array([10.0]), 1.0)
         assert res2.time_to_fresh() == float("inf")
+
+
+class TestPBSAgainstMeasuredStaleness:
+    """Validate the PBS model against replica staleness the cluster
+    actually measured (PR 6 satellite): feed the per-row tee-to-apply
+    delays of a replicated run into :class:`LatencyDistribution` and
+    check the simulator's predictions against an independent,
+    event-stepped measurement of the replication backlog."""
+
+    def test_prediction_matches_measured_backlog(self):
+        from repro.cluster import BalancerPolicy, ClusterConfig, VOLAPCluster
+        from repro.core import TreeConfig
+        from repro.workloads.streams import Operation
+
+        from .conftest import make_schema, random_batch
+
+        schema = make_schema()
+        cfg = ClusterConfig(
+            num_workers=3,
+            num_servers=1,
+            tree_config=TreeConfig(leaf_capacity=32, fanout=8),
+            balancer=BalancerPolicy(
+                max_shard_items=100_000, scan_period=0.1, op_timeout=2.0
+            ),
+            heartbeat_period=0.1,
+            checkpoint_period=0.4,
+            replication_factor=1,
+            seed=3,
+        )
+        cluster = VOLAPCluster(schema, cfg)
+        cluster.bootstrap(random_batch(schema, 1200, seed=3), shards_per_worker=2)
+        cluster.run_for(2.0)  # replicas of every shard seeded + settled
+
+        extra = random_batch(schema, 500, seed=47)
+        sess = cluster.session(0, concurrency=8)
+        sess.run_stream(
+            [
+                Operation(
+                    "insert",
+                    coords=extra.coords[i],
+                    measure=float(extra.measures[i]),
+                )
+                for i in range(len(extra))
+            ]
+        )
+
+        def inflight() -> int:
+            ws = cluster.workers.values()
+            return sum(w.repl_rows_teed for w in ws) - sum(
+                w.repl_rows_applied for w in ws
+            )
+
+        # event-stepped time integral of the replication backlog: the
+        # number of acked-but-not-yet-replica-visible rows at any instant
+        t_start = cluster.clock.now
+        integral, horizon = 0.0, t_start + 60.0
+        while cluster.clock.now < horizon:
+            val = inflight()
+            t_prev = cluster.clock.now
+            if not cluster.clock.step():
+                break
+            integral += val * (cluster.clock.now - t_prev)
+            if sess.done and inflight() == 0:
+                break
+        assert sess.done and inflight() == 0
+        window = cluster.clock.now - t_start
+        measured_backlog = integral / window
+
+        lags = [
+            s for w in cluster.workers.values() for s in w.repl_apply_lags
+        ]
+        assert len(lags) == len(extra)  # every acked row streamed once
+        rate = sum(w.repl_rows_teed for w in cluster.workers.values()) / window
+
+        # the PBS simulator, driven by the measured staleness samples,
+        # must reproduce the measured backlog (Little's law) ...
+        sim = PBSSimulator(
+            insert_rate=rate,
+            insert_latency=LatencyDistribution(samples=lags),
+            expansion_miss_prob=0.0,
+            seed=9,
+        )
+        predicted = sim.missed_curve([0.0], trials=200).mean_missed[0]
+        assert measured_backlog > 0
+        assert predicted == pytest.approx(measured_backlog, rel=0.25)
+        # ... and predict full freshness past the measured staleness tail
+        tail = max(lags) * 1.05
+        assert sim.missed_curve([tail], trials=200).mean_missed[0] == 0.0
+        assert sim.prob_inconsistent(tail, trials=200) == 0.0

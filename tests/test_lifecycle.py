@@ -73,7 +73,13 @@ def test_busy_shard_rejects_second_op():
     assert m.admit("split", 7) is not None
     assert m.admit("migrate", 7) is None
     assert m.admit("restore", 7) is None
-    assert m.started == {"split": 1, "migrate": 0, "restore": 0}
+    assert m.started == {
+        "split": 1,
+        "migrate": 0,
+        "restore": 0,
+        "replicate": 0,
+        "promote": 0,
+    }
 
 
 def admit_dispatched(m, kind, sid, **kw):
@@ -341,9 +347,11 @@ def assert_lifecycle_invariants(cluster):
     # 2. the budget pools always equal the live op counts
     kinds = [op.kind for op in lc.ops.values()]
     assert lc.balance_inflight == sum(k in ("split", "migrate") for k in kinds)
-    assert lc.restore_inflight == sum(k == "restore" for k in kinds)
+    assert lc.restore_inflight == sum(k in ("restore", "promote") for k in kinds)
+    assert lc.replica_inflight == sum(k == "replicate" for k in kinds)
     assert 0 <= lc.balance_inflight <= lc.max_inflight
     assert 0 <= lc.restore_inflight <= lc.max_inflight_restores
+    assert 0 <= lc.replica_inflight <= lc.max_inflight_replications
     # 3. mapping chains stay acyclic and resolve to known shard ids
     known = set()
     for w in cluster.workers.values():

@@ -45,6 +45,8 @@ STAGE_VOCAB = {
     "tree.insert",
     "client.query", "server.route_query", "worker.query", "tree.query",
     "manager.split", "worker.split", "manager.migrate", "manager.restore",
+    "manager.replicate", "worker.replicate", "manager.promote",
+    "worker.promote",
 }
 
 FAST_RETRY = RetryPolicy(
