@@ -125,7 +125,7 @@ class LocalImage:
             yield leaf.shard
 
     def get(self, shard_id: int) -> ShardInfo:
-        return self._leaves[shard_id]. shard
+        return self._leaves[shard_id].shard
 
     # -- structural ops (synchronisation path) ------------------------------
 

@@ -5,18 +5,27 @@ The system image in Zookeeper stores, per shard, its bounding key --
 Minimum Describing Subset (MDS, multiple boxes)" (paper Section III-A).
 Both kinds serialise to plain tuples so they survive the Zookeeper
 stand-in and message payloads.
+
+Bulk record payloads (shard blobs, handed-off insertion queues) travel
+as columnar frames (:mod:`repro.olap.colframe`); :func:`batch_to_wire`
+and :func:`batch_from_wire` are the cluster layer's entry points so
+every bulk transfer is charged its true bytes-on-the-wire size.
 """
 
 from __future__ import annotations
 
 from typing import Union
 
+from ..olap.colframe import decode_batch, encode_batch
 from ..olap.keys import Box
 from ..olap.mds import MDS
+from ..olap.records import RecordBatch
 
 __all__ = [
     "key_to_wire",
     "key_from_wire",
+    "batch_to_wire",
+    "batch_from_wire",
     "BoundingKey",
     "QUERY_ROW_WIRE_BYTES",
     "REPLICA_ROW_WIRE_BYTES",
@@ -36,6 +45,21 @@ QUERY_ROW_WIRE_BYTES = 48
 #: format, which the replica stream reuses) plus the idempotency token
 #: the replica must retain for exactly-once promotion.
 REPLICA_ROW_WIRE_BYTES = 72
+
+
+def batch_to_wire(batch: RecordBatch, *, compress: bool = True) -> bytes:
+    """Encode a record batch as column-frame wire bytes.
+
+    ``len()`` of the result is the message size to charge the transport
+    -- unlike the old tuple payloads there is no estimated per-row
+    constant; the frame *is* the wire format.
+    """
+    return encode_batch(batch, compress=compress)
+
+
+def batch_from_wire(blob: bytes) -> RecordBatch:
+    """Decode wire bytes back into a record batch (v2 frame or legacy v1)."""
+    return decode_batch(blob)
 
 
 def key_to_wire(key: BoundingKey) -> tuple:

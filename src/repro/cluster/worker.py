@@ -41,7 +41,13 @@ from .cost import CostModel
 from .faults import CheckpointStore
 from .lifecycle import CUTOVER, INSTALLING, TRANSFERRING
 from .simclock import ServicePool, SimClock
-from .wire import QUERY_ROW_WIRE_BYTES, REPLICA_ROW_WIRE_BYTES, key_to_wire
+from .wire import (
+    QUERY_ROW_WIRE_BYTES,
+    REPLICA_ROW_WIRE_BYTES,
+    batch_from_wire,
+    batch_to_wire,
+    key_to_wire,
+)
 from .transport import Entity, Message, Transport
 from .zookeeper import Zookeeper
 
@@ -181,12 +187,13 @@ class ShardTransfer:
         # now-stale replicas and re-seeds them from the new owner
         w._repl.pop(shard_id, None)
         if queue is not None and len(queue):
+            blob = batch_to_wire(queue.items())
             w.transport.send(
                 dst,
                 Message(
                     "queue_transfer",
-                    (shard_id, queue.items(), dst),
-                    size=len(queue) * 72,
+                    (shard_id, blob, dst),
+                    size=len(blob),
                     sender=w,
                 ),
             )
@@ -959,8 +966,8 @@ class Worker(Entity):
         )
 
     def _on_queue_transfer(self, msg: Message) -> None:
-        shard_id, batch, _ = msg.payload
-        self.transfer.absorb(shard_id, batch)
+        shard_id, blob, _ = msg.payload
+        self.transfer.absorb(shard_id, batch_from_wire(blob))
 
     def _on_drop_shard(self, msg: Message) -> None:
         """Discard an orphan copy left by an aborted migration."""

@@ -85,6 +85,10 @@ class ArrayStore(ShardStore):
     def __len__(self) -> int:
         return self._size
 
+    def resident_bytes(self) -> int:
+        """Exact bytes of the allocated column buffers."""
+        return self._coords.nbytes + self._measures.nbytes
+
     def mbr(self) -> Box:
         if self._size == 0:
             return Box.empty(self.schema.num_dims)

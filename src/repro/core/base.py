@@ -14,6 +14,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
+from ..olap.colframe import decode_batch, encode_batch
 from ..olap.keys import Box, points_in_boxes
 from ..olap.records import RecordBatch
 from ..olap.schema import Schema
@@ -151,14 +152,29 @@ class ShardStore(ABC):
         )
 
     def serialize(self) -> bytes:
-        """Flat binary blob of the shard contents (paper SerializeShard)."""
-        return self.items().to_bytes()
+        """Column-frame blob of the shard contents (paper SerializeShard).
+
+        Arrow-IPC-style raw column buffers (see
+        :mod:`repro.olap.colframe`); checkpoint, migrate, restore and
+        replica seeding all ship this frame, never pickled objects.
+        """
+        return encode_batch(self.items())
 
     @classmethod
     def deserialize(
         cls, schema: Schema, blob: bytes, config: TreeConfig
     ) -> "ShardStore":
-        return cls.from_batch(schema, RecordBatch.from_bytes(blob), config)
+        """Rebuild a store from a serialized shard (v2 frame or legacy v1)."""
+        return cls.from_batch(schema, decode_batch(blob), config)
+
+    def resident_bytes(self) -> int:
+        """Bytes of record storage held in memory (benchmark metric).
+
+        The default estimates from a materialized copy of the items;
+        stores that own their buffers override with exact accounting.
+        """
+        batch = self.items()
+        return batch.coords.nbytes + batch.measures.nbytes
 
     @classmethod
     @abstractmethod
@@ -191,13 +207,17 @@ class BaseTree(ShardStore):
     def uses_hilbert(self) -> bool:
         return False
 
+    def _leaf_key_words(self) -> int:
+        """uint64 words per packed leaf Hilbert key (0: no Hilbert keys)."""
+        return 0
+
     def _new_leaf(self) -> Node:
         return Node(
             self.policy.empty(self.num_dims),
             leaf=True,
             capacity=self.config.leaf_capacity + 1,
             num_dims=self.num_dims,
-            with_hkeys=self.uses_hilbert,
+            key_words=self._leaf_key_words(),
             thread_safe=self.config.thread_safe,
         )
 
@@ -412,6 +432,20 @@ class BaseTree(ShardStore):
                 stack.extend(n.children)
         return count
 
+    def resident_bytes(self) -> int:
+        """Exact bytes of leaf columns plus packed-key pruning caches."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            n = stack.pop()
+            if n.is_leaf:
+                total += n.cols.nbytes
+            else:
+                if n.packed is not None:
+                    total += n.packed[2].nbytes
+                stack.extend(n.children)
+        return total
+
     # -- invariants (used by tests) ---------------------------------------
 
     def validate(self) -> None:
@@ -456,8 +490,8 @@ class BaseTree(ShardStore):
                 assert self.policy.covers_point(node.key, row), (
                     "leaf key does not cover item"
                 )
-            if node.hkeys is not None and node.size:
-                assert node.lhv == max(node.hkeys[: node.size]), "leaf LHV wrong"
+            if node.cols.hwords is not None and node.size:
+                assert node.lhv == node.cols.max_key(), "leaf LHV wrong"
             return node.size, [node.leaf_coords()]
         assert len(node.children) <= self.config.fanout, "dir over fanout"
         if not is_root:

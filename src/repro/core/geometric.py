@@ -127,13 +127,9 @@ class GeometricTree(InsertEngineTree):
 
     def _build_leaf(self, src: Node, idx: np.ndarray) -> Node:
         out = self._new_leaf()
-        k = len(idx)
-        out.coords[:k] = src.coords[idx]
-        out.measures[:k] = src.measures[idx]
-        out.size = k
-        from .aggregates import Aggregate
-
-        out.agg = Aggregate.of_array(out.leaf_measures())
+        cols = src.cols
+        out.cols.set_rows(cols.coords[idx], cols.measures[idx])
+        out.cols.reaggregate()
         for row in out.leaf_coords():
             self.policy.expand_point(out.key, row)
         return out

@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..hilbert.compact_hilbert import key_from_words, lexsort_words
 from ..hilbert.id_expansion import HilbertKeyMapper
 from ..olap.records import RecordBatch
 from .aggregates import Aggregate
@@ -36,20 +37,27 @@ class HilbertTree(InsertEngineTree):
     """Shared implementation of the Hilbert tree family."""
 
     def __init__(self, schema, config=None):
-        super().__init__(schema, config)
-        self.mapper = HilbertKeyMapper(
-            schema, expand=self.config.hilbert_expand_ids
-        )
+        # the mapper must exist before BaseTree.__init__ creates the
+        # root leaf, whose columns are sized by _leaf_key_words()
+        cfg = config if config is not None else self._default_config()
+        self.mapper = HilbertKeyMapper(schema, expand=cfg.hilbert_expand_ids)
+        super().__init__(schema, cfg)
 
     @property
     def uses_hilbert(self) -> bool:
         return True
+
+    def _leaf_key_words(self) -> int:
+        return self.mapper.word_count
 
     def _hilbert_key(self, coords: np.ndarray) -> int:
         return self.mapper.key(coords)
 
     def _hilbert_keys(self, coords: np.ndarray) -> list[int]:
         return self.mapper.keys(coords)
+
+    def _hilbert_key_words(self, coords: np.ndarray) -> np.ndarray:
+        return self.mapper.key_words(coords)
 
     # -- child choice: purely by Hilbert order -----------------------------
 
@@ -71,24 +79,21 @@ class HilbertTree(InsertEngineTree):
 
     def _split_leaf(self, leaf: Node) -> tuple[Node, Node]:
         n = leaf.size
-        hk = leaf.hkeys[:n]
-        order = sorted(range(n), key=hk.__getitem__)
+        order = lexsort_words(leaf.cols.live_hwords())
         split_at = self._choose_split_index(
-            [leaf.coords[i] for i in order], n, from_points=True
+            [leaf.cols.coords[i] for i in order], n, from_points=True
         )
-        left_idx = np.array(order[:split_at])
-        right_idx = np.array(order[split_at:])
+        left_idx = order[:split_at]
+        right_idx = order[split_at:]
         return self._build_leaf(leaf, left_idx), self._build_leaf(leaf, right_idx)
 
     def _build_leaf(self, src: Node, idx: np.ndarray) -> Node:
+        """New leaf from ``src`` rows ``idx`` (ascending key order)."""
         out = self._new_leaf()
-        k = len(idx)
-        out.coords[:k] = src.coords[idx]
-        out.measures[:k] = src.measures[idx]
-        out.hkeys = [src.hkeys[int(i)] for i in idx]
-        out.lhv = max(out.hkeys)
-        out.size = k
-        out.agg = Aggregate.of_array(out.leaf_measures())
+        cols = src.cols
+        out.cols.set_rows(cols.coords[idx], cols.measures[idx], cols.hwords[idx])
+        out.lhv = key_from_words(cols.hwords[int(idx[-1])])
+        out.cols.reaggregate()
         self.policy.expand_points(out.key, out.leaf_coords())
         return out
 
@@ -176,21 +181,19 @@ class HilbertTree(InsertEngineTree):
         n = len(batch)
         if n == 0:
             return tree
-        keys = tree.mapper.keys(batch.coords)
-        order = sorted(range(n), key=keys.__getitem__)
+        kwords = tree.mapper.key_words(batch.coords)
+        order = lexsort_words(kwords)
         cap = tree.config.leaf_capacity
         fill = max(2, (cap * 3) // 4)
         leaves: list[Node] = []
         for start in range(0, n, fill):
             idx = order[start : start + fill]
             leaf = tree._new_leaf()
-            k = len(idx)
-            leaf.coords[:k] = batch.coords[idx]
-            leaf.measures[:k] = batch.measures[idx]
-            leaf.hkeys = [keys[i] for i in idx]
-            leaf.lhv = leaf.hkeys[-1]
-            leaf.size = k
-            leaf.agg = Aggregate.of_array(leaf.leaf_measures())
+            leaf.cols.set_rows(
+                batch.coords[idx], batch.measures[idx], kwords[idx]
+            )
+            leaf.lhv = key_from_words(kwords[int(idx[-1])])
+            leaf.cols.reaggregate()
             tree.policy.expand_points(leaf.key, leaf.leaf_coords())
             leaves.append(leaf)
         level = leaves

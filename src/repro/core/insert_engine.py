@@ -21,6 +21,12 @@ from typing import Optional
 
 import numpy as np
 
+from ..hilbert.compact_hilbert import (
+    key_from_words,
+    lexsort_words,
+    pack_key,
+    words_gt,
+)
 from .aggregates import Aggregate
 from .base import BaseTree
 from .config import OpStats
@@ -57,6 +63,10 @@ class InsertEngineTree(BaseTree):
     def _hilbert_keys(self, coords: np.ndarray) -> list[Optional[int]]:
         """Hilbert keys for an (n, d) array; Hilbert trees vectorize."""
         return [self._hilbert_key(row) for row in coords]
+
+    def _hilbert_key_words(self, coords: np.ndarray) -> Optional[np.ndarray]:
+        """Packed ``(n, w)`` uint64 key words; None in geometric trees."""
+        return None
 
     # -- engine -----------------------------------------------------------
 
@@ -167,8 +177,8 @@ class InsertEngineTree(BaseTree):
         n = len(batch)
         if n == 0:
             return stats
-        keys = self._hilbert_keys(batch.coords)
-        if keys[0] is None:
+        kwords = self._hilbert_key_words(batch.coords)
+        if kwords is None:
             # per-record fallback: suppress per-insert profiling so the
             # batch is recorded exactly once, as one batched operation
             prof, self.profiler = self.profiler, None
@@ -180,12 +190,13 @@ class InsertEngineTree(BaseTree):
             if self.profiler is not None:
                 self.profiler.record("insert_batch", stats, rows=n)
             return stats
-        order = sorted(range(n), key=keys.__getitem__)
+        # stable word-lexicographic sort == stable sort by Python ints
+        order = lexsort_words(kwords)
         coords = np.asarray(batch.coords, dtype=np.int64)
         measures = np.asarray(batch.measures, dtype=np.float64)
         pos = 0
         while pos < n:
-            pos = self._insert_run(coords, measures, keys, order, pos, stats)
+            pos = self._insert_run(coords, measures, kwords, order, pos, stats)
         if self.profiler is not None:
             self.profiler.record("insert_batch", stats, rows=n)
         return stats
@@ -194,8 +205,8 @@ class InsertEngineTree(BaseTree):
         self,
         coords: np.ndarray,
         measures: np.ndarray,
-        keys: list[int],
-        order: list[int],
+        kwords: np.ndarray,
+        order: np.ndarray,
         pos: int,
         stats: OpStats,
     ) -> int:
@@ -222,8 +233,8 @@ class InsertEngineTree(BaseTree):
         Key/aggregate/LHV updates commit per-run while the whole path
         is locked, so queries never observe a torn path.
         """
-        first = order[pos]
-        hkey0 = keys[first]
+        first = int(order[pos])
+        hkey0 = key_from_words(kwords[first])
         if self._tree_lock is not None:
             self._tree_lock.acquire()
         held: list[tuple[Node, int]] = []
@@ -245,14 +256,14 @@ class InsertEngineTree(BaseTree):
             end = pos + 1
             if rightmost:
                 end = n
-            else:
+            elif bound is not None:
+                bound_words = pack_key(bound, kwords.shape[1])
                 while end < n:
-                    k = keys[order[end]]
-                    if bound is None or k > bound:
+                    if words_gt(kwords[order[end]], bound_words):
                         break
                     end += 1
             run = order[pos:end]
-            run_max = keys[run[-1]]
+            run_max = key_from_words(kwords[int(run[-1])])
             run_coords = coords[run]
             run_measures = measures[run]
             run_agg = Aggregate.of_array(run_measures)
@@ -265,8 +276,9 @@ class InsertEngineTree(BaseTree):
                     path_node.lhv = run_max
             self._count += len(run)
             if node.size + len(run) <= self.config.leaf_capacity:
-                for j, i in enumerate(run):
-                    node.append_item(run_coords[j], run_measures[j], keys[i])
+                node.cols.extend(run_coords, run_measures, kwords[run])
+                if node.lhv is None or run_max > node.lhv:
+                    node.lhv = run_max
                 if self.policy.expand_points(node.key, run_coords):
                     node.key_version += 1
                     stats.key_expansions += 1
@@ -274,7 +286,7 @@ class InsertEngineTree(BaseTree):
                 self._propagate_splits(node, held, stats)
             else:
                 self._repack_overflow(node, run_coords, run_measures,
-                                      [keys[i] for i in run], held, stats)
+                                      kwords[run], held, stats)
             return end
         finally:
             for anc, _ in held:
@@ -287,37 +299,36 @@ class InsertEngineTree(BaseTree):
         leaf: Node,
         run_coords: np.ndarray,
         run_measures: np.ndarray,
-        run_keys: list[int],
+        run_words: np.ndarray,
         held: list[tuple[Node, int]],
         stats: OpStats,
     ) -> None:
         """Replace an overflowing leaf by several packed leaves.
 
-        Merges the leaf's items with the run, re-sorts by Hilbert key,
-        packs leaves at 3/4 fill (the bulk-load rule), and splices them
-        into the parent.  Any directory node the splice overfills is
-        likewise repacked into 3/4-full groups, bottom-up through the
-        locked path.  Only runs in Hilbert trees (the only trees with
-        batch runs), whose ``_build_dir`` rebuilds directory nodes.
+        Merges the leaf's columns with the run, re-sorts by packed
+        Hilbert key, packs leaves at 3/4 fill (the bulk-load rule), and
+        splices them into the parent -- three broadcast gathers per new
+        leaf.  Any directory node the splice overfills is likewise
+        repacked into 3/4-full groups, bottom-up through the locked
+        path.  Only runs in Hilbert trees (the only trees with batch
+        runs), whose ``_build_dir`` rebuilds directory nodes.
         """
-        m = leaf.size + len(run_keys)
+        m = leaf.size + len(run_words)
         stats.repacks += 1
         all_coords = np.concatenate([leaf.leaf_coords(), run_coords])
         all_measures = np.concatenate([leaf.leaf_measures(), run_measures])
-        all_keys = leaf.hkeys[: leaf.size] + run_keys
-        order = sorted(range(m), key=all_keys.__getitem__)
+        all_words = np.concatenate([leaf.cols.live_hwords(), run_words])
+        order = lexsort_words(all_words)
         fill = max(2, (self.config.leaf_capacity * 3) // 4)
         nodes: list[Node] = []
         for s in range(0, m, fill):
             idx = order[s : s + fill]
             out = self._new_leaf()
-            k = len(idx)
-            out.coords[:k] = all_coords[idx]
-            out.measures[:k] = all_measures[idx]
-            out.hkeys = [all_keys[i] for i in idx]
-            out.lhv = out.hkeys[-1]
-            out.size = k
-            out.agg = Aggregate.of_array(out.leaf_measures())
+            out.cols.set_rows(
+                all_coords[idx], all_measures[idx], all_words[idx]
+            )
+            out.lhv = key_from_words(all_words[int(idx[-1])])
+            out.cols.reaggregate()
             self.policy.expand_points(out.key, out.leaf_coords())
             nodes.append(out)
         stats.splits += len(nodes) - 1

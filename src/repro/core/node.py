@@ -1,19 +1,20 @@
 """Tree nodes shared by all PDC / Hilbert-PDC / R-tree variants.
 
-A node is either a *leaf* holding item storage (preallocated numpy
-arrays of ``leaf_capacity`` rows) or a *directory* holding a list of
-children.  Every node carries:
+A node is either a *leaf* holding columnar item storage (a
+:class:`~repro.core.columns.LeafColumns` of preallocated numpy buffers)
+or a *directory* holding a list of children.  Every node carries:
 
 * ``key`` -- its bounding key (Box or MDS, per the tree's key policy);
-* ``agg`` -- the cached aggregate of the whole subtree;
+* ``agg`` -- the cached aggregate of the whole subtree (for leaves this
+  is the accumulator living inside the columns);
 * ``lhv`` -- the largest Hilbert value in the subtree (Hilbert variants
   only; ``None`` in geometric trees);
 * ``lock`` -- an RLock when the tree is configured thread-safe;
 * ``key_version`` / ``packed`` -- the packed-key pruning cache for the
   batch query engine (see :meth:`Node.packed_children`).
 
-Leaves in Hilbert trees additionally keep the per-item Hilbert keys
-(arbitrary-precision ints, so a plain Python list).
+Leaves in Hilbert trees keep per-item Hilbert keys packed as big-endian
+uint64 word rows inside the columns -- no per-record Python objects.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from typing import Any, Optional
 import numpy as np
 
 from .aggregates import Aggregate
+from .columns import LeafColumns
 
 __all__ = ["Node"]
 
@@ -31,12 +33,10 @@ __all__ = ["Node"]
 class Node:
     __slots__ = (
         "key",
-        "agg",
+        "_agg",
         "children",
-        "coords",
-        "measures",
-        "hkeys",
-        "size",
+        "cols",
+        "_size",
         "lhv",
         "lock",
         "key_version",
@@ -50,11 +50,10 @@ class Node:
         leaf: bool,
         capacity: int = 0,
         num_dims: int = 0,
-        with_hkeys: bool = False,
+        key_words: int = 0,
         thread_safe: bool = False,
     ):
         self.key = key
-        self.agg = Aggregate.empty()
         self.lhv: Optional[int] = None
         #: bumped on every in-place mutation of ``key``; lets a parent's
         #: packed-key cache detect stale snapshots structurally
@@ -64,44 +63,72 @@ class Node:
         self.lock: Optional[threading.RLock] = (
             threading.RLock() if thread_safe else None
         )
+        self._size = 0
         if leaf:
             self.children = None
-            self.coords = np.empty((capacity, num_dims), dtype=np.int64)
-            self.measures = np.empty(capacity, dtype=np.float64)
-            self.hkeys: Optional[list[int]] = [] if with_hkeys else None
-            self.size = 0
+            self.cols = LeafColumns(capacity, num_dims, key_words)
+            self._agg = None
         else:
             self.children: Optional[list["Node"]] = []
-            self.coords = None
-            self.measures = None
-            self.hkeys = None
-            self.size = 0
+            self.cols = None
+            self._agg = Aggregate.empty()
 
     @property
     def is_leaf(self) -> bool:
         return self.children is None
 
+    # -- delegated leaf state ---------------------------------------------
+
+    @property
+    def agg(self) -> Aggregate:
+        cols = self.cols
+        return cols.agg if cols is not None else self._agg
+
+    @agg.setter
+    def agg(self, value: Aggregate) -> None:
+        cols = self.cols
+        if cols is not None:
+            cols.agg = value
+        else:
+            self._agg = value
+
+    @property
+    def size(self) -> int:
+        cols = self.cols
+        return cols.size if cols is not None else self._size
+
+    @size.setter
+    def size(self, value: int) -> None:
+        cols = self.cols
+        if cols is not None:
+            cols.size = value
+        else:
+            self._size = value
+
     # -- leaf item access -------------------------------------------------
 
     def leaf_coords(self) -> np.ndarray:
         """View of the live coordinate rows of a leaf."""
-        return self.coords[: self.size]
+        return self.cols.live_coords()
 
     def leaf_measures(self) -> np.ndarray:
-        return self.measures[: self.size]
+        return self.cols.live_measures()
+
+    def leaf_hkeys(self) -> list[int]:
+        """Live Hilbert keys as Python ints (tests / validation only)."""
+        return self.cols.key_ints()
 
     def append_item(
         self, coords: np.ndarray, measure: float, hkey: Optional[int] = None
     ) -> None:
         """Append one item to a leaf (caller checks capacity)."""
-        i = self.size
-        self.coords[i] = coords
-        self.measures[i] = measure
-        if self.hkeys is not None:
-            self.hkeys.append(hkey)
+        cols = self.cols
+        if cols.hwords is not None:
+            cols.append(coords, measure, hkey)
             if self.lhv is None or hkey > self.lhv:
                 self.lhv = hkey
-        self.size = i + 1
+        else:
+            cols.append(coords, measure)
 
     def packed_children(self, policy, num_dims: int):
         """Packed SoA snapshot of this directory's child keys, cached.

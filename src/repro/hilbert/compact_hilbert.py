@@ -25,7 +25,19 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["HilbertCurve", "CompactHilbertCurve", "gray_code", "gray_code_inverse"]
+__all__ = [
+    "HilbertCurve",
+    "CompactHilbertCurve",
+    "gray_code",
+    "gray_code_inverse",
+    "words_for_bits",
+    "pack_key",
+    "pack_key_ints",
+    "key_from_words",
+    "lexsort_words",
+    "argmax_words",
+    "words_gt",
+]
 
 
 # -- bit primitives ----------------------------------------------------------
@@ -162,6 +174,87 @@ def _rotate_left_vec(x: np.ndarray, k: np.ndarray, n: int) -> np.ndarray:
     nn = np.uint64(n)
     x = x & mask
     return ((x << k) | (x >> (nn - k))) & mask
+
+
+# -- packed multi-word key representation -------------------------------------
+#
+# Compact Hilbert indices routinely exceed 64 bits, so the columnar leaf
+# storage keeps them as fixed-width rows of big-endian uint64 *words*:
+# word 0 holds the most significant 64 bits.  Because the words are
+# unsigned and big-endian, lexicographic row order equals numeric key
+# order, which lets ``np.lexsort`` (stable, like ``sorted``) replace
+# per-record arbitrary-precision comparisons.
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def words_for_bits(bits: int) -> int:
+    """Number of 64-bit words needed for a ``bits``-bit key (min 1)."""
+    return max(1, (int(bits) + 63) // 64)
+
+
+def pack_key(key: int, width: int) -> np.ndarray:
+    """One key as a big-endian ``(width,)`` uint64 word row."""
+    out = np.empty(width, dtype=np.uint64)
+    k = int(key)
+    for w in range(width - 1, -1, -1):
+        out[w] = k & _WORD_MASK
+        k >>= 64
+    return out
+
+
+def pack_key_ints(keys, width: int) -> np.ndarray:
+    """Pack a sequence of Python ints into an ``(n, width)`` word array."""
+    out = np.empty((len(keys), width), dtype=np.uint64)
+    for i, key in enumerate(keys):
+        k = int(key)
+        for w in range(width - 1, -1, -1):
+            out[i, w] = k & _WORD_MASK
+            k >>= 64
+    return out
+
+
+def key_from_words(row: np.ndarray) -> int:
+    """Fold one big-endian word row back into a Python int."""
+    out = 0
+    for w in row.tolist():
+        out = (out << 64) | w
+    return out
+
+
+def lexsort_words(words: np.ndarray) -> np.ndarray:
+    """Stable ascending sort order of big-endian word rows.
+
+    Identical to ``sorted(range(n), key=ints.__getitem__)`` on the
+    folded integers (both sorts are stable), without materialising any
+    Python ints.
+    """
+    n, width = words.shape
+    if width == 1:
+        return np.argsort(words[:, 0], kind="stable")
+    # np.lexsort treats its *last* key as primary: feed least
+    # significant word first so word 0 dominates.
+    return np.lexsort(tuple(words[:, w] for w in range(width - 1, -1, -1)))
+
+
+def words_gt(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when word row ``a`` folds to a larger key than row ``b``."""
+    for x, y in zip(a.tolist(), b.tolist()):
+        if x != y:
+            return x > y
+    return False
+
+
+def argmax_words(words: np.ndarray) -> int:
+    """Row index of the lexicographically largest word row (first if tied)."""
+    n, width = words.shape
+    idx = np.arange(n)
+    for w in range(width):
+        col = words[idx, w]
+        idx = idx[col == col.max()]
+        if idx.size == 1:
+            break
+    return int(idx[0])
 
 
 # -- classic Hilbert curve ---------------------------------------------------
@@ -342,9 +435,64 @@ class CompactHilbertCurve:
         npts = pts.shape[0]
         if npts == 0:
             return np.empty(0, dtype=object)
-        n = self.num_dims
-        if self.max_bits > 63 or n > 63:
+        if self.max_bits > 63 or self.num_dims > 63:
             return np.array([self.index(p) for p in pts], dtype=object)
+        planes = self._rank_planes(pts)
+
+        # fold per-plane rank digits into Python ints, 63 bits at a time
+        out = np.zeros(npts, dtype=object)
+        word = np.zeros(npts, dtype=np.uint64)
+        word_bits = 0
+        for free_bits, r in planes:
+            if word_bits + free_bits > 63:
+                out = out * (1 << word_bits) + word.astype(object)
+                word = np.zeros(npts, dtype=np.uint64)
+                word_bits = 0
+            word = (word << np.uint64(free_bits)) | r
+            word_bits += free_bits
+        if word_bits:
+            out = out * (1 << word_bits) + word.astype(object)
+        return out
+
+    def index_batch_words(self, points: np.ndarray) -> np.ndarray:
+        """Compact Hilbert indices packed as big-endian uint64 words.
+
+        Returns an ``(n, words_for_bits(total_bits))`` uint64 array whose
+        rows fold (:func:`key_from_words`) to exactly the Python ints
+        :meth:`index_batch` produces; lexicographic row order equals
+        numeric index order.  The per-plane rank digits are scattered
+        straight into their word positions, so no arbitrary-precision
+        arithmetic happens at all on the vectorized path.
+        """
+        pts = np.asarray(points)
+        if pts.ndim != 2 or pts.shape[1] != self.num_dims:
+            raise ValueError(
+                f"points must be (n, {self.num_dims}), got {pts.shape}"
+            )
+        npts = pts.shape[0]
+        width = words_for_bits(self.total_bits)
+        if npts == 0:
+            return np.empty((0, width), dtype=np.uint64)
+        if self.max_bits > 63 or self.num_dims > 63:
+            return pack_key_ints([self.index(p) for p in pts], width)
+        planes = self._rank_planes(pts)
+        out = np.zeros((npts, width), dtype=np.uint64)
+        bit = self.total_bits  # bit position just above the next digit
+        for free_bits, r in planes:
+            if free_bits == 0:
+                continue
+            bit -= free_bits
+            w_idx = width - 1 - (bit >> 6)
+            sh = bit & 63
+            out[:, w_idx] |= r << np.uint64(sh)
+            if sh + free_bits > 64:  # digit straddles two words
+                out[:, w_idx - 1] |= r >> np.uint64(64 - sh)
+        return out
+
+    def _rank_planes(self, pts: np.ndarray) -> list[tuple[int, np.ndarray]]:
+        """Per-bit-plane rank digits for every row (shared batch kernel)."""
+        npts = pts.shape[0]
+        n = self.num_dims
         limits = np.array([(1 << w) - 1 for w in self.widths], dtype=np.int64)
         arr = pts.astype(np.int64, copy=False)
         if (arr < 0).any() or (arr > limits[None, :]).any():
@@ -391,21 +539,7 @@ class CompactHilbertCurve:
             e = e ^ _rotate_left_vec(entry, rot, n)
             d = (d + dirw + one) % nn
             planes.append((free_bits, r))
-
-        # fold per-plane rank digits into Python ints, 63 bits at a time
-        out = np.zeros(npts, dtype=object)
-        word = np.zeros(npts, dtype=np.uint64)
-        word_bits = 0
-        for free_bits, r in planes:
-            if word_bits + free_bits > 63:
-                out = out * (1 << word_bits) + word.astype(object)
-                word = np.zeros(npts, dtype=np.uint64)
-                word_bits = 0
-            word = (word << np.uint64(free_bits)) | r
-            word_bits += free_bits
-        if word_bits:
-            out = out * (1 << word_bits) + word.astype(object)
-        return out
+        return planes
 
     # -- reference implementations for testing ---------------------------
 

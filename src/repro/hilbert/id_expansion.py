@@ -32,7 +32,7 @@ from typing import Sequence
 import numpy as np
 
 from ..olap.schema import Schema
-from .compact_hilbert import CompactHilbertCurve
+from .compact_hilbert import CompactHilbertCurve, pack_key_ints, words_for_bits
 
 __all__ = ["IdExpansion", "HilbertKeyMapper"]
 
@@ -147,6 +147,11 @@ class HilbertKeyMapper:
     def total_bits(self) -> int:
         return self.curve.total_bits
 
+    @property
+    def word_count(self) -> int:
+        """uint64 words per packed key (see ``key_words``)."""
+        return words_for_bits(self.curve.total_bits)
+
     def key(self, coords: Sequence[int]) -> int:
         """Compact Hilbert index of one coordinate vector."""
         if self.expand:
@@ -172,3 +177,26 @@ class HilbertKeyMapper:
         if expanded.dtype == object:
             return [self.curve.index(tuple(row)) for row in expanded]
         return self.curve.index_batch(expanded).tolist()
+
+    def key_words(self, coords: np.ndarray) -> np.ndarray:
+        """Hilbert keys packed as ``(n, word_count)`` big-endian uint64.
+
+        Folding each row (:func:`~repro.hilbert.compact_hilbert.key_from_words`)
+        yields exactly :meth:`keys`; lexicographic row order equals key
+        order, which is what the columnar leaf storage sorts by.
+        """
+        arr = np.asarray(coords)
+        if arr.ndim != 2:
+            raise ValueError(f"coords must be 2-D, got shape {arr.shape}")
+        if arr.shape[0] == 0:
+            return np.empty((0, self.word_count), dtype=np.uint64)
+        if self.expand:
+            expanded = self.expansion.expand_batch(arr)
+        else:
+            expanded = arr
+        if expanded.dtype == object:
+            return pack_key_ints(
+                [self.curve.index(tuple(row)) for row in expanded],
+                self.word_count,
+            )
+        return self.curve.index_batch_words(expanded)

@@ -287,6 +287,23 @@ class PackedKeys:
     def num_keys(self) -> int:
         return self.lo.shape[0]
 
+    @property
+    def nbytes(self) -> int:
+        """Buffer bytes of the snapshot (resident-memory accounting)."""
+        return sum(
+            a.nbytes
+            for a in (
+                self.lo,
+                self.hi,
+                self.empty,
+                self.ilo,
+                self.ihi,
+                self.dim_idx,
+                self.offsets,
+            )
+            if a is not None
+        )
+
 
 def pack_boxes(keys: Sequence[Box], num_dims: int) -> PackedKeys:
     """Pack ``m`` Box keys into ``(m, d)`` lo/hi arrays plus empty flags."""

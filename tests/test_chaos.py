@@ -19,6 +19,7 @@ from repro.cluster import (
 )
 from repro.cluster.faults import FaultInjector
 from repro.cluster.simclock import SimClock
+from repro.cluster.transport import LatencyModel
 from repro.core import TreeConfig
 from repro.olap.query import full_query
 from repro.workloads.streams import Operation
@@ -294,6 +295,142 @@ class TestPartition:
         # quarantine probation elapsed on steady beats: full member again
         assert 0 not in cluster.manager.dead_workers
         assert cluster.manager.rejoins >= 1
+        assert cluster.total_items() == len(batch)
+        rec = run_one_query(cluster, schema)
+        assert rec.achieved == 1.0 and rec.result_count == len(batch)
+
+
+#: the shard-migration protocol surface, for fault plans.  The one-shot
+#: ``queue_transfer`` hand-off is deliberately excluded: it is sent
+#: exactly once inside the cut-over (the fault-tolerance boundary is
+#: the manager's retry of the whole migration op, not that message).
+MIGRATE_KINDS = {
+    "migrate_shard",
+    "migrate_in",
+    "migrate_ready",
+    "migrate_done",
+    "migrate_failed",
+    "migrate_abort",
+    "drop_shard",
+}
+
+
+class TestMigrateWhileQuerying:
+    def test_columnar_transfer_survives_drop_duplicate(self, schema, monkeypatch):
+        """Scale-up migrations race live inserts and queries while the
+        migration control surface suffers 10% drop + 10% duplication.
+
+        Every shard blob and handed-off insertion queue crosses the
+        wire as a column frame (spied via the worker's codec entry
+        points); despite the faults, migrations complete, no
+        acknowledged insert is lost or doubled, and post-chaos queries
+        see the full database from exactly one primary per shard."""
+        from repro.cluster import worker as worker_mod
+        from repro.olap.colframe import is_column_frame
+
+        sent_frames = []
+        decoded_frames = []
+        real_to = worker_mod.batch_to_wire
+        real_from = worker_mod.batch_from_wire
+
+        def spy_to(batch, **kw):
+            blob = real_to(batch, **kw)
+            assert is_column_frame(blob)
+            sent_frames.append(len(blob))
+            return blob
+
+        def spy_from(blob):
+            assert is_column_frame(blob)
+            decoded_frames.append(len(blob))
+            return real_from(blob)
+
+        monkeypatch.setattr(worker_mod, "batch_to_wire", spy_to)
+        monkeypatch.setattr(worker_mod, "batch_from_wire", spy_from)
+
+        cfg = ClusterConfig(
+            num_workers=2,
+            num_servers=1,
+            tree_config=TreeConfig(leaf_capacity=32, fanout=8),
+            # a slow WAN-ish link: shard blobs take real virtual time to
+            # cross, so migration freeze windows are wide enough for the
+            # insert stream to pile rows into the hand-off queues
+            latency=LatencyModel(base=0.01, bandwidth=2e5, jitter=1e-3),
+            balancer=BalancerPolicy(
+                max_shard_items=100_000,
+                imbalance_ratio=1.2,
+                min_migrate_items=50,
+                scan_period=0.2,
+                op_timeout=2.0,
+            ),
+            retry=CHAOS_RETRY,
+            heartbeat_period=0.1,
+            heartbeat_miss_k=3,
+            checkpoint_period=0.4,
+            seed=3,
+        )
+        cluster = VOLAPCluster(schema, cfg)
+        batch = random_batch(schema, 2000, seed=3)
+        cluster.bootstrap(batch, shards_per_worker=2)
+        inj = cluster.inject_faults(
+            FaultPlan()
+            .drop(0.20, kinds=MIGRATE_KINDS)
+            .duplicate(0.20, kinds=MIGRATE_KINDS),
+            seed=7,
+        )
+        cluster.add_workers(2)  # imbalance: the balancer starts migrating
+        extra = random_batch(schema, 600, seed=17)
+        sess = cluster.session(0, concurrency=4)
+        # drip the inserts so the stream spans the whole rebalancing
+        # phase -- inserts that land on a frozen (mid-migration) shard
+        # pile into its hand-off queue, which must then cross the wire
+        ops = insert_ops(extra)
+        step = 25
+        for lo in range(0, len(ops), step):
+            sess.run_stream(ops[lo : lo + step])
+            cluster.run_for(0.25)
+        cluster.run_until_clients_done(max_virtual=300.0)
+        acked = [r for r in cluster.stats.select(kind="insert") if r.ok]
+        assert len(acked) == len(extra)
+        cluster.run_for(10.0)  # let aborted/timed-out ops retry and settle
+        cluster.clear_faults()
+        cluster.run_for(5.0)
+
+        assert inj.dropped > 0 and inj.duplicated > 0
+        assert cluster.stats.migrations > 0, "no migration ever completed"
+        # the hand-off path ran, and everything sent was frame-decoded
+        assert sent_frames, "no insertion queue was ever handed off"
+        assert decoded_frames == sent_frames
+        # exactly-once through all of it
+        assert cluster.manager.lifecycle.quiescent()
+        assert_single_primary(cluster)
+        assert cluster.total_items() == len(batch) + len(acked)
+        rec = run_one_query(cluster, schema)
+        assert rec.achieved == 1.0
+        assert rec.result_count == len(batch) + len(acked)
+
+    def test_checkpoint_restore_promote_is_pickle_free(self, schema, monkeypatch):
+        """The whole recovery hot path -- periodic checkpoints, crash
+        restore, replica seeding and promotion -- moves shards only as
+        column frames.  Poisoning :mod:`pickle` proves it: any stray
+        ``dumps``/``loads`` anywhere in the cycle fails the run."""
+        import pickle
+
+        cluster, batch = chaos_cluster(
+            schema, n_items=1000, seed=3, replication_factor=1
+        )
+
+        def poisoned(*a, **kw):  # pragma: no cover - must never run
+            raise AssertionError("pickle used on the shard hot path")
+
+        for name in ("dumps", "loads", "dump", "load"):
+            monkeypatch.setattr(pickle, name, poisoned)
+        cluster.run_for(2.0)  # checkpoints written, replicas seeded
+        drain_replication(cluster)
+        assert cluster.manager.checkpoints.puts > 0
+        cluster.crash_worker(1)
+        cluster.run_for(4.0)  # death declared; restore + promote cycle
+        assert cluster.manager.promotions_done > 0
+        assert_single_primary(cluster)
         assert cluster.total_items() == len(batch)
         rec = run_one_query(cluster, schema)
         assert rec.achieved == 1.0 and rec.result_count == len(batch)

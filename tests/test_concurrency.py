@@ -159,6 +159,75 @@ def test_query_batch_races_inserts(cls):
         assert agg.count == 500 and agg.total == 500.0
 
 
+@pytest.mark.parametrize("cls", THREADED)
+def test_query_batch_and_depth_walker_race_repacks(cls):
+    """Readers race columnar leaf grow/repack and must never observe a
+    torn aggregate or an out-of-bounds column view.
+
+    Batched inserts use chunks larger than ``leaf_capacity``, so every
+    chunk overflows some leaf and takes the repack path (new column
+    buffers spliced under path locks).  Measures are 1.0: any observed
+    aggregate with ``total != count`` is a torn read, and a stale or
+    over-long column view would crash the querier or produce
+    ``count > inserted``."""
+    schema = make_schema([[8, 8], [8, 8]])
+    config = TreeConfig(leaf_capacity=4, fanout=3, thread_safe=True)
+    tree = cls(schema, config)
+    total_rows = 800
+    chunk = 13  # > leaf_capacity: every chunk forces grow/repack
+    batch = random_batch(schema, total_rows, seed=101)
+    batch.measures[:] = 1.0
+    box = full_query(schema).box
+    boxes = [box] * 3
+    stop = threading.Event()
+    errors = []
+    torn = []
+
+    def inserter():
+        try:
+            for lo in range(0, total_rows, chunk):
+                tree.insert_batch(batch.slice(lo, min(lo + chunk, total_rows)))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    def batch_querier():
+        try:
+            while not stop.is_set():
+                for agg, _ in tree.query_batch(boxes):
+                    if agg.total != agg.count:
+                        torn.append((agg.count, agg.total))
+                    if agg.count > total_rows:
+                        torn.append(("overcount", agg.count))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    def depth_walker():
+        try:
+            while not stop.is_set():
+                d = tree.depth()
+                assert 1 <= d <= 64, d
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = (
+        [threading.Thread(target=inserter)]
+        + [threading.Thread(target=batch_querier) for _ in range(2)]
+        + [threading.Thread(target=depth_walker)]
+    )
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert not torn
+    assert len(tree) == total_rows
+    tree.validate()
+    for agg, _ in tree.query_batch([box]):
+        assert agg.count == total_rows and agg.total == float(total_rows)
+
+
 def test_thread_safe_flag_creates_locks():
     schema = make_schema([[4, 4]])
     safe = HilbertPDCTree(schema, TreeConfig(thread_safe=True))

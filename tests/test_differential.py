@@ -187,6 +187,138 @@ def test_empty_and_single_batches():
     tree.validate()
 
 
+# -- columnar leaves: boundary, repack, and codec differentials --------------
+
+CAP = 8
+
+
+@pytest.mark.parametrize("cls", ALL_TREES)
+@pytest.mark.parametrize("thread_safe", [False, True])
+@pytest.mark.parametrize("n", [CAP - 1, CAP, CAP + 1])
+def test_split_boundary_at_leaf_capacity(cls, thread_safe, n):
+    """Exactly leaf_capacity ± 1 records: the overflow/split boundary.
+
+    At ``n == CAP`` the root leaf is exactly full; ``CAP + 1`` forces
+    the first split (or repack) out of a full columnar leaf.  Both the
+    per-record and the batched path must agree with the oracle."""
+    schema = make_schema()
+    config = TreeConfig(leaf_capacity=CAP, fanout=4, thread_safe=thread_safe)
+    data = int_batch(schema, n, seed=40 + n)
+    one = cls(schema, config)
+    batched = cls(schema, config)
+    oracle = ArrayStore(schema)
+    for coords, m in data.iter_rows():
+        one.insert(coords, m)
+    batched.insert_batch(data)
+    oracle.insert_batch(data)
+    one.validate()
+    batched.validate()
+    assert len(one) == len(batched) == n
+    boxes = random_boxes(schema, 8, seed=n)
+    assert_matches_oracle(one, oracle, boxes)
+    assert_matches_oracle(batched, oracle, boxes)
+
+
+@pytest.mark.parametrize("cls", ALL_TREES)
+@pytest.mark.parametrize("thread_safe", [False, True])
+@pytest.mark.parametrize("chunk", [CAP - 1, CAP, CAP + 1, 64])
+def test_chunks_around_capacity_match_oracle(cls, thread_safe, chunk):
+    """Chunk sizes straddling leaf_capacity drive repack-on-overflow at
+    every fill level; results stay oracle-identical (incl. OpStats
+    between query and query_batch)."""
+    schema = make_schema()
+    config = TreeConfig(leaf_capacity=CAP, fanout=4, thread_safe=thread_safe)
+    tree = cls(schema, config)
+    oracle = ArrayStore(schema)
+    data = int_batch(schema, 400, seed=47, clustered=True)
+    for lo in range(0, len(data), chunk):
+        sub = data.slice(lo, min(lo + chunk, len(data)))
+        tree.insert_batch(sub)
+        oracle.insert_batch(sub)
+    tree.validate()
+    assert_matches_oracle(tree, oracle, random_boxes(schema, 10, seed=chunk))
+
+
+@pytest.mark.parametrize("cls", [HilbertPDCTree, HilbertRTree])
+def test_repack_on_overflow_is_exercised_and_correct(cls):
+    """Over-capacity runs must take the repack path (asserted via the
+    ``repacks`` counter) and still match the oracle."""
+    schema = make_schema()
+    config = TreeConfig(leaf_capacity=CAP, fanout=4)
+    tree = cls(schema, config)
+    oracle = ArrayStore(schema)
+    data = int_batch(schema, 300, seed=53, clustered=True)
+    stats = tree.insert_batch(data)
+    oracle.insert_batch(data)
+    assert stats.repacks >= 1
+    tree.validate()
+    assert_matches_oracle(tree, oracle, random_boxes(schema, 10, seed=3))
+
+
+@pytest.mark.parametrize("cls", ALL_TREES)
+def test_leaves_are_numpy_columns(cls):
+    """No per-record Python objects remain in any leaf: every leaf holds
+    contiguous int64/float64 (and uint64 key) numpy columns."""
+    schema = make_schema()
+    tree = cls(schema, TreeConfig(leaf_capacity=CAP, fanout=4))
+    tree.insert_batch(int_batch(schema, 200, seed=59))
+    leaves = list(tree._iter_leaves(tree.root))
+    assert leaves
+    for leaf in leaves:
+        cols = leaf.cols
+        assert cols.coords.dtype == np.int64 and cols.coords.flags.c_contiguous
+        assert cols.measures.dtype == np.float64
+        if tree.uses_hilbert:
+            assert cols.hwords is not None
+            assert cols.hwords.dtype == np.uint64
+            # live rows are in packed-word (== numeric key) order
+            ints = cols.key_ints()
+            assert ints == sorted(ints)
+        else:
+            assert cols.hwords is None
+
+
+@pytest.mark.parametrize("cls", ALL_TREES)
+@pytest.mark.parametrize("thread_safe", [False, True])
+def test_serialize_roundtrip_matches_oracle(cls, thread_safe):
+    """store -> column frame -> store is oracle-identical, and the
+    rebuilt tree equals a direct bulk load of the same items
+    (query_batch OpStats included)."""
+    schema = make_schema()
+    config = TreeConfig(leaf_capacity=CAP, fanout=4, thread_safe=thread_safe)
+    tree = cls(schema, config)
+    oracle = ArrayStore(schema)
+    data = int_batch(schema, 350, seed=61)
+    tree.insert_batch(data)
+    oracle.insert_batch(data)
+    back = cls.deserialize(schema, tree.serialize(), config)
+    back.validate()
+    assert len(back) == len(tree)
+    assert_matches_oracle(back, oracle, random_boxes(schema, 10, seed=9))
+    direct = cls.from_batch(schema, tree.items(), config)
+    for box in random_boxes(schema, 10, seed=9):
+        a, astats = back.query(box)
+        b, bstats = direct.query(box)
+        assert a.to_tuple() == b.to_tuple()
+        assert astats.nodes_visited == bstats.nodes_visited
+
+
+def test_hilbert_word_keys_match_object_ints():
+    """The packed uint64 word rows in leaves encode exactly the keys the
+    object-int mapper computes (ordering equivalence is load-bearing)."""
+    schema = make_schema()
+    tree = HilbertPDCTree(schema, TreeConfig(leaf_capacity=CAP, fanout=4))
+    data = int_batch(schema, 150, seed=67)
+    tree.insert_batch(data)
+    want = sorted(tree.mapper.keys(data.coords))
+    got = sorted(
+        k
+        for leaf in tree._iter_leaves(tree.root)
+        for k in leaf.leaf_hkeys()
+    )
+    assert got == want
+
+
 # -- vectorized Hilbert kernel vs the scalar reference ---------------------
 
 WIDTH_VECTORS = [

@@ -1,0 +1,92 @@
+"""Golden-file compatibility tests for shard checkpoint blobs.
+
+Two committed blobs in ``tests/golden/`` pin the serialization formats
+(see ``tests/golden/README.md``):
+
+* the v1 (pre-columnar) layout must keep restoring -- checkpoints
+  written by old deployments outlive the code that wrote them;
+* the v2 uncompressed column frame must be *byte-stable*: encoding the
+  same records reproduces the committed file bit for bit, catching any
+  accidental format drift (struct layout, alignment, narrowing rules).
+
+Regenerate only on a deliberate format change::
+
+    PYTHONPATH=src python - <<'PY'
+    import sys; sys.path.insert(0, "tests")
+    from conftest import make_schema, random_batch
+    from repro.olap.colframe import encode_batch
+    batch = random_batch(make_schema(), 500, seed=20260808)
+    open("tests/golden/checkpoint_v1.bin", "wb").write(batch.to_bytes())
+    open("tests/golden/checkpoint_v2.volc", "wb").write(
+        encode_batch(batch, compress=False))
+    PY
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayStore, HilbertPDCTree, PDCTree, TreeConfig
+from repro.olap.colframe import decode_batch, encode_batch, is_column_frame
+
+from .conftest import make_schema, random_batch, random_boxes
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def golden_batch():
+    return random_batch(make_schema(), 500, seed=20260808)
+
+
+def test_golden_files_exist():
+    assert (GOLDEN / "checkpoint_v1.bin").is_file()
+    assert (GOLDEN / "checkpoint_v2.volc").is_file()
+
+
+@pytest.mark.parametrize("cls", [HilbertPDCTree, PDCTree, ArrayStore])
+def test_v1_checkpoint_still_restores(cls, golden_batch):
+    """A pickle-era checkpoint restores into today's columnar stores."""
+    blob = (GOLDEN / "checkpoint_v1.bin").read_bytes()
+    assert not is_column_frame(blob)
+    schema = make_schema()
+    store = cls.deserialize(schema, blob, TreeConfig(leaf_capacity=16))
+    assert len(store) == 500
+    oracle = ArrayStore.from_batch(schema, golden_batch)
+    for box in random_boxes(schema, 10, seed=1):
+        got, _ = store.query(box)
+        want, _ = oracle.query(box)
+        assert got.count == want.count
+        assert got.total == pytest.approx(want.total)
+        if want.count:
+            assert got.vmin == want.vmin and got.vmax == want.vmax
+
+
+def test_v2_frame_is_byte_stable(golden_batch):
+    """Re-encoding the same records reproduces the committed frame."""
+    want = (GOLDEN / "checkpoint_v2.volc").read_bytes()
+    got = encode_batch(golden_batch, compress=False)
+    assert got == want
+
+
+def test_v2_frame_decodes_bit_identical(golden_batch):
+    blob = (GOLDEN / "checkpoint_v2.volc").read_bytes()
+    assert is_column_frame(blob)
+    out = decode_batch(blob)
+    assert np.array_equal(out.coords, golden_batch.coords)
+    assert out.measures.tobytes() == golden_batch.measures.tobytes()
+
+
+def test_v1_and_v2_blobs_hold_the_same_records():
+    v1 = decode_batch((GOLDEN / "checkpoint_v1.bin").read_bytes())
+    v2 = decode_batch((GOLDEN / "checkpoint_v2.volc").read_bytes())
+    assert np.array_equal(v1.coords, v2.coords)
+    assert v1.measures.tobytes() == v2.measures.tobytes()
+
+
+def test_v2_golden_is_smaller_than_v1():
+    """The committed artifacts themselves witness the size win."""
+    v1 = (GOLDEN / "checkpoint_v1.bin").stat().st_size
+    v2 = (GOLDEN / "checkpoint_v2.volc").stat().st_size
+    assert v2 * 2 <= v1

@@ -199,7 +199,7 @@ def test_hilbert_leaf_order_is_curve_order(cls, schema):
     tree = build(cls, schema, batch)
     maxes = []
     for leaf in tree._iter_leaves(tree.root):
-        assert leaf.lhv == max(leaf.hkeys[: leaf.size])
+        assert leaf.lhv == max(leaf.leaf_hkeys())
         maxes.append(leaf.lhv)
     assert maxes == sorted(maxes)
 
