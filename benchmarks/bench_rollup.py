@@ -1,0 +1,163 @@
+"""Rollup tier benchmark: repeated large-coverage aggregates.
+
+Measures the *virtual-time* round-trip latency of the unified
+``cluster.execute`` API with the rollup cache tier on vs off.  Large
+coverage is exactly where the tier pays: a tree descent fans out to
+every worker and scans every shard, while a warm cube hit is a slab
+slice served straight from the server.
+
+Also sweeps the query mix (fraction of cube-answerable queries) to
+show how mean latency tracks the achieved hit rate.  Results land in
+``BENCH_rollup.json`` at the repo root.
+
+Acceptance gate: warm rollup hits >= 10x faster than tree descents on
+the same full-coverage query (>= 5x under ``BENCH_QUICK=1``, where the
+smaller dataset amortizes less tree work per query).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import ClusterConfig, RollupConfig, VOLAPCluster
+from repro.cluster.transport import LatencyModel
+from repro.olap.keys import Box
+from repro.olap.query import Query, full_query
+from repro.workloads import TPCDSGenerator, tpcds_schema
+
+SCHEMA = tpcds_schema()
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+N_RECORDS = 30_000 if QUICK else 150_000
+N_QUERIES = 60 if QUICK else 200
+FLOOR = 5.0 if QUICK else 10.0
+SWEEP = [0.0, 0.5, 1.0] if QUICK else [0.0, 0.25, 0.5, 0.75, 1.0]
+
+#: intra-rack wire model, identical for both tiers: the bench compares
+#: query *work* (descent vs slab slice), not WAN round-trip floors
+LATENCY = LatencyModel(base=20e-6, jitter=5e-6)
+
+
+def make_cluster(rollup):
+    cluster = VOLAPCluster(
+        SCHEMA,
+        ClusterConfig(
+            num_workers=4, num_servers=1, seed=11, rollup=rollup,
+            latency=LATENCY,
+        ),
+    )
+    cluster.bootstrap(TPCDSGenerator(SCHEMA, seed=0).batch(N_RECORDS))
+    return cluster
+
+
+def timed_latencies(cluster, queries, **kw):
+    """Virtual seconds per round trip, plus the per-query sources."""
+    lats, sources = [], []
+    for q in queries:
+        t0 = cluster.clock.now
+        r = cluster.execute(q, **kw)
+        lats.append(cluster.clock.now - t0)
+        sources.append(r.source)
+    return lats, sources
+
+
+def narrow_boxes(n, seed=5):
+    """Random unaligned boxes: never cube-answerable, always tree."""
+    rng = np.random.default_rng(seed)
+    limits = np.asarray(SCHEMA.leaf_limits, dtype=np.int64)
+    out = []
+    for _ in range(n):
+        a = rng.integers(0, limits + 1)
+        b = rng.integers(0, limits + 1)
+        lo, hi = np.minimum(a, b), np.maximum(a, b)
+        hi[0] = min(hi[0], lo[0] + 1)  # keep d0 unaligned / narrow
+        out.append(Query(Box(lo, hi)))
+    return out
+
+
+def coverage_query():
+    """A large-coverage aggregate that still forces tree descent: all
+    but one level-1 group of d0 (grid-aligned, so a (d0,1) cube serves
+    it as a slab slice; the tree cannot answer it from shard roots)."""
+    h0 = SCHEMA.dimensions[0].hierarchy
+    width = 1 << h0.suffix_bits(1)
+    fanout = h0.levels[0].fanout
+    box = full_query(SCHEMA).box
+    hi = box.hi.copy()
+    hi[0] = (fanout - 1) * width - 1
+    return Query(Box(box.lo, hi))
+
+
+def test_rollup_tier_speedup():
+    q = coverage_query()
+
+    off = make_cluster(rollup=None)
+    off_lats, off_sources = timed_latencies(
+        off, [q] * N_QUERIES, max_staleness=1.0
+    )
+    assert set(off_sources) == {"tree"}
+
+    on = make_cluster(rollup=RollupConfig(admit_after=2))
+    # warm: the first repeats miss, admit, and sync the cube; then let
+    # post-bootstrap splits finish and their slabs resync
+    timed_latencies(on, [q] * 5, max_staleness=1.0)
+    for _ in range(20):
+        on.run_for(0.5)
+        if on.execute(q, max_staleness=1.0).source == "rollup":
+            break
+    on_lats, on_sources = timed_latencies(
+        on, [q] * N_QUERIES, max_staleness=1.0
+    )
+    assert set(on_sources) <= {"rollup", "hybrid"}, set(on_sources)
+    hits = [
+        lat for lat, s in zip(on_lats, on_sources) if s == "rollup"
+    ]
+    hit_rate = len(hits) / len(on_lats)
+    assert hit_rate >= 0.9, hit_rate  # a split mid-run may cost a few
+
+    tree_mean = float(np.mean(off_lats))
+    hit_mean = float(np.mean(hits))
+    speedup = tree_mean / hit_mean
+
+    # hit-rate sweep: blend cube-served repeats with tree-only boxes
+    sweep = []
+    for frac in SWEEP:
+        n_hit = int(round(N_QUERIES * frac))
+        mix = [q] * n_hit + narrow_boxes(N_QUERIES - n_hit)
+        rng = np.random.default_rng(13)
+        mix = [mix[i] for i in rng.permutation(len(mix))]
+        lats, sources = timed_latencies(on, mix, max_staleness=1.0)
+        served = sum(s in ("rollup", "hybrid") for s in sources)
+        sweep.append(
+            {
+                "target_hit_fraction": frac,
+                "achieved_hit_rate": round(served / len(mix), 3),
+                "mean_latency_us": round(1e6 * float(np.mean(lats)), 1),
+                "p95_latency_us": round(
+                    1e6 * float(np.percentile(lats, 95)), 1
+                ),
+            }
+        )
+
+    router = on.servers[0].router
+    result = {
+        "records": N_RECORDS,
+        "queries": N_QUERIES,
+        "quick": QUICK,
+        "tree_mean_us": round(1e6 * tree_mean, 1),
+        "rollup_hit_mean_us": round(1e6 * hit_mean, 1),
+        "hit_rate": round(hit_rate, 3),
+        "speedup": round(speedup, 2),
+        "floor": FLOOR,
+        "resident_cubes": len(router.store),
+        "resident_bytes": router.store.resident_bytes(),
+        "hit_rate_sweep": sweep,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_rollup.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print()
+    print(f"rollup tier on/off: {json.dumps(result)}")
+    assert speedup >= FLOOR, result

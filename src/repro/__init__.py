@@ -35,6 +35,8 @@ from .cluster import (
     CostModel,
     LatencyModel,
     MemoryPressurePolicy,
+    QueryResult,
+    RollupConfig,
     ThresholdPolicy,
     VOLAPCluster,
 )
@@ -53,7 +55,7 @@ from .olap import (
     full_query,
     query_from_levels,
 )
-from .olap.rollup import drilldown_path, pivot, rollup
+from .olap.rollup import CubeKey, drilldown_path, pivot, rollup
 from .workloads import (
     QueryGenerator,
     StreamGenerator,
@@ -89,8 +91,11 @@ __all__ = [
     "OpStats",
     "PBSSimulator",
     "PDCTree",
+    "CubeKey",
     "Query",
     "QueryGenerator",
+    "QueryResult",
+    "RollupConfig",
     "RTree",
     "RecordBatch",
     "Schema",

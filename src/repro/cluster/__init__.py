@@ -13,6 +13,7 @@ from .balancer import (
 )
 from .client import ClientSession
 from .cluster import ClusterConfig, VOLAPCluster
+from .router import QueryResult, QueryRouter, RollupConfig
 from .cost import CostModel
 from .faults import (
     CheckpointStore,
@@ -34,6 +35,9 @@ from .zookeeper import Zookeeper
 
 __all__ = [
     "BalancerPolicy",
+    "QueryResult",
+    "QueryRouter",
+    "RollupConfig",
     "CheckpointStore",
     "CostDrivenPolicy",
     "MemoryPressurePolicy",

@@ -333,7 +333,8 @@ class ClientSession(Entity):
             )
         elif msg.kind == "query_done":
             (
-                op_id, _t, agg, searched, coverage, achieved, staleness,
+                op_id, _t, agg, searched, coverage,
+                achieved, staleness, source,
             ) = msg.payload
             pending = self._pending.pop(op_id, None)
             if pending is None:
@@ -349,6 +350,7 @@ class ClientSession(Entity):
                 achieved=achieved,
                 attempts=pending.attempts,
                 staleness=staleness,
+                source=source,
             )
         else:
             raise ValueError(f"client: unknown message {msg.kind!r}")

@@ -10,8 +10,8 @@ time control.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from ..core.config import TreeConfig
 from ..core.hilbert_trees import HilbertPDCTree
 from ..hilbert.id_expansion import HilbertKeyMapper
 from ..obs import MetricsRegistry, Observability
+from ..olap.query import ROUTING_MODES, Query
 from ..olap.records import RecordBatch
 from ..olap.schema import Schema
 from .balancer import BalancerPolicy, ThresholdPolicy
@@ -27,6 +28,7 @@ from .client import ClientSession
 from .cost import CostModel
 from .faults import CheckpointStore, FaultInjector, FaultPlan, RetryPolicy
 from .manager import Manager
+from .router import QueryResult, RollupConfig
 from .server import Server
 from .simclock import SimClock
 from .stats import ClusterStats, OpRecord
@@ -35,19 +37,18 @@ from .wire import QUERY_ROW_WIRE_BYTES
 from .worker import Worker
 from .zookeeper import Zookeeper
 
-__all__ = ["ClusterConfig", "VOLAPCluster"]
+__all__ = ["ClusterConfig", "VOLAPCluster", "QueryResult", "RollupConfig"]
 
 #: aliases already warned about (one warning per process, clearable in tests)
 _warned_batch_aliases: set[str] = set()
 
 
-def _warn_alias(old: str, new: str) -> None:
+def _warn_alias(old: str, new: str, scope: str = "ClusterConfig") -> None:
     if old in _warned_batch_aliases:
         return
     _warned_batch_aliases.add(old)
     warnings.warn(
-        f"ClusterConfig.{old} is deprecated; use ClusterConfig.{new} "
-        f"(same meaning, shared with ClientSession({new}=...))",
+        f"{scope}.{old} is deprecated; use {scope}.{new}",
         DeprecationWarning,
         stacklevel=3,
     )
@@ -109,6 +110,10 @@ class ClusterConfig:
     #: for queries that do not set ``Query.max_staleness`` themselves;
     #: ``None`` keeps every read on shard primaries
     max_staleness: Optional[float] = None
+    #: per-server rollup cache tier (materialized cubes + adaptive
+    #: query routing); ``None`` disables the tier entirely -- no cube
+    #: state, no stream subscriptions, classic tree-only reads
+    rollup: Optional[RollupConfig] = None
 
     def __post_init__(self) -> None:
         if self.client_batch_size is not None:
@@ -153,9 +158,15 @@ class VOLAPCluster:
                 image_key_kind=self.config.image_key_kind,
                 retry=self.config.retry,
                 max_staleness=self.config.max_staleness,
+                rollup=self.config.rollup,
             )
             for sid in range(self.config.num_servers)
         ]
+        for s in self.servers:
+            if s.router is not None:
+                # share the cluster registry so the tier's hit/miss/
+                # eviction counters land in cluster.metrics
+                s.router.registry = self.stats.registry
         self.manager = Manager(
             self.clock,
             self.transport,
@@ -241,6 +252,24 @@ class VOLAPCluster:
             r.gauge("volap_server_degraded_queries", server=sid).set(
                 s.degraded_queries
             )
+        if self.config.rollup is not None:
+            # rollup-tier gauges exist only when the tier is enabled,
+            # keeping tier-less runs on their classic metric families
+            now = self.clock.now
+            for s in self.servers:
+                router = s.router
+                if router is None:
+                    continue
+                sid = s.server_id
+                r.gauge("volap_rollup_cubes", server=sid).set(
+                    len(router.store)
+                )
+                r.gauge("volap_rollup_resident_bytes", server=sid).set(
+                    router.store.resident_bytes()
+                )
+                r.gauge("volap_rollup_staleness_seconds", server=sid).set(
+                    router.max_lag(now)
+                )
         r.gauge("volap_transport_messages_sent").set(
             self.transport.messages_sent
         )
@@ -439,31 +468,69 @@ class VOLAPCluster:
         server.sync_to_zookeeper()
         return self.clock.now - start
 
-    # -- batched queries ------------------------------------------------------
+    # -- unified query API ----------------------------------------------------
 
-    def query_batch(
-        self, queries, server_index: int = 0
-    ) -> list[tuple[Aggregate, float]]:
-        """Run ``queries`` as one batched wire round trip through a
-        server; returns ``(aggregate, achieved)`` per query in
-        submission order.
+    def execute(
+        self,
+        query_or_queries: Union[Query, list],
+        *,
+        max_staleness: Optional[float] = None,
+        routing: str = "auto",
+        server_index: int = 0,
+    ) -> Union[QueryResult, list[QueryResult]]:
+        """The one query entry point: run one query (returns a
+        :class:`QueryResult`) or a list (returns a list, in submission
+        order, batched into one wire round trip).
 
-        Each query keeps its own op id, server token, deadline, and
-        :class:`OpRecord` (so ``ClusterStats`` counts every logical
-        query once, exactly as on the singleton path); only the framing
-        is batched: one ``client_query_batch`` in, one ``query_batch``
-        per addressed worker, per-op ``query_done`` replies out.
+        ``max_staleness`` is the read budget for queries that do not
+        carry their own ``Query.max_staleness`` (per-query values win);
+        ``routing`` selects the serving tier -- ``"auto"`` answers from
+        materialized rollup cubes when a cube matches and its staleness
+        fits the budget (per shard, falling back to tree descent for
+        the stale tail), ``"tree"`` pins the classic descent, and
+        ``"rollup"`` prefers cubes regardless of budget.  **With no
+        budget from either source, ``"auto"`` never touches a cube**:
+        the result stays byte-identical to tree descent.
+
+        Each result carries the merged aggregate, achieved coverage,
+        achieved staleness, and the serving ``source``.  Each query
+        keeps its own op id, server token, deadline, and
+        :class:`OpRecord`, exactly as on the session path.
         """
-        queries = list(queries)
+        if routing not in ROUTING_MODES:
+            raise ValueError(
+                f"routing must be one of {ROUTING_MODES}, got {routing!r}"
+            )
+        single = isinstance(query_or_queries, Query)
+        queries = (
+            [query_or_queries] if single else list(query_or_queries)
+        )
         if not queries:
             return []
+        effective = [
+            replace(
+                q,
+                max_staleness=(
+                    q.max_staleness
+                    if q.max_staleness is not None
+                    else max_staleness
+                ),
+                routing=(
+                    q.routing
+                    if getattr(q, "routing", "auto") != "auto"
+                    else routing
+                ),
+            )
+            for q in queries
+        ]
         server = self.servers[server_index % len(self.servers)]
-        results: dict[int, tuple[Aggregate, float]] = {}
+        results: dict[int, QueryResult] = {}
         sink = _QuerySink(results, self.stats, self.clock)
         # op ids live in a reserved pseudo-client space; replies route
         # by entity, so they never collide with real sessions
         rows = [
-            ((0xFFF << 24) | (i + 1), q, None) for i, q in enumerate(queries)
+            ((0xFFF << 24) | (i + 1), q, None)
+            for i, q in enumerate(effective)
         ]
         self.transport.send(
             server,
@@ -479,8 +546,27 @@ class VOLAPCluster:
                 break
             guard += 1
             if guard > 50_000_000:  # pragma: no cover - runaway guard
-                raise RuntimeError("query batch did not converge")
-        return [results[op_id] for op_id, _, _ in rows]
+                raise RuntimeError("execute did not converge")
+        out = [results[op_id] for op_id, _, _ in rows]
+        return out[0] if single else out
+
+    # -- deprecated query surface (one release of shims) -----------------------
+
+    def query_batch(
+        self, queries, server_index: int = 0
+    ) -> list[tuple[Aggregate, float]]:
+        """Deprecated alias of :meth:`execute` returning the old
+        ``(aggregate, achieved)`` tuples; use ``execute`` for
+        :class:`QueryResult` objects with staleness and source."""
+        _warn_alias("query_batch", "execute", scope="VOLAPCluster")
+        results = self.execute(list(queries), server_index=server_index)
+        return [(r.value, r.coverage) for r in results]
+
+    def query(self, query: Query, server_index: int = 0):
+        """Deprecated singleton alias of :meth:`execute`."""
+        _warn_alias("query", "execute", scope="VOLAPCluster")
+        r = self.execute(query, server_index=server_index)
+        return r.value, r.coverage
 
     # -- execution ------------------------------------------------------------
 
@@ -512,14 +598,14 @@ class VOLAPCluster:
 
 
 class _QuerySink:
-    """Collects ``query_done`` replies for :meth:`VOLAPCluster.query_batch`,
+    """Collects ``query_done`` replies for :meth:`VOLAPCluster.execute`,
     recording one ``OpRecord`` per logical query like a session would."""
 
     name = "query-sink"
 
     def __init__(
         self,
-        results: dict[int, tuple[Aggregate, float]],
+        results: dict[int, QueryResult],
         stats: ClusterStats,
         clock: SimClock,
     ):
@@ -531,11 +617,19 @@ class _QuerySink:
         if msg.kind != "query_done":
             return
         (
-            op_id, submit_time, agg, searched, coverage, achieved, staleness,
+            op_id, submit_time, agg, searched, coverage,
+            achieved, staleness, source,
         ) = msg.payload
         if op_id in self._results:
             return  # duplicate reply (e.g. a late deadline partial)
-        self._results[op_id] = (agg, achieved)
+        self._results[op_id] = QueryResult(
+            value=agg,
+            coverage=achieved,
+            staleness=staleness,
+            source=source,
+            shards_searched=searched,
+            op_id=op_id,
+        )
         self._stats.record_op(
             OpRecord(
                 "query",
@@ -546,6 +640,7 @@ class _QuerySink:
                 result_count=agg.count,
                 achieved=achieved,
                 staleness=staleness,
+                source=source,
             )
         )
 

@@ -48,6 +48,19 @@ class CostModel:
     route_node: float = 2e-6  # per local-image node visited
     merge_shard: float = 20e-6  # per worker response merged
 
+    # rollup-tier costs
+    #: per row scanned when a worker seeds cube slabs from a shard
+    rollup_seed_item: float = 0.5e-6
+    #: per row folded into resident slabs from a stream batch
+    rollup_apply_item: float = 1e-6
+    #: per cube cell sliced when a query is answered from the tier
+    rollup_cell: float = 0.05e-6
+    #: base of a cube-served answer: dispatch, cube match, per-shard
+    #: freshness scan, slab slice + merge -- all in server memory (a
+    #: pure hit skips the fan-out planner, so it never pays route_base;
+    #: compare merge_shard, the per-response merge on the tree path)
+    rollup_hit_base: float = 30e-6
+
     # -- worker ----------------------------------------------------------
 
     def insert_time(self, stats: OpStats) -> float:
@@ -114,3 +127,19 @@ class CostModel:
 
     def merge_time(self, responses: int) -> float:
         return self.merge_shard * max(1, responses)
+
+    # -- rollup tier -------------------------------------------------------
+
+    def rollup_seed_time(self, rows: int) -> float:
+        """Worker-side cube seeding: one vectorized columnar scan of
+        the shard (much cheaper per row than a serialize)."""
+        return self.insert_base + self.rollup_seed_item * rows
+
+    def rollup_apply_time(self, rows: int) -> float:
+        """Server-side fold of one stream batch into resident slabs."""
+        return self.merge_shard + self.rollup_apply_item * max(1, rows)
+
+    def rollup_hit_time(self, cells: int) -> float:
+        """Answering a query from cube slabs: slice + merge, no worker
+        round trip at all -- that absence is the tier's entire win."""
+        return self.rollup_hit_base + self.rollup_cell * max(1, cells)

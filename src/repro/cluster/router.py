@@ -1,0 +1,590 @@
+"""QueryRouter: the server-side rollup tier and adaptive read routing.
+
+Each server owns one router (when ``ClusterConfig.rollup`` is set; the
+default ``None`` keeps every query on the classic tree path with zero
+added state or events).  The router maintains a
+:class:`~repro.olap.rollup_store.RollupStore` of materialized cubes and
+answers eligible queries straight from server memory -- no worker
+fan-out at all -- falling back per *shard* to the tree when a shard's
+cube data is missing or too stale for the query's budget ("hybrid").
+
+Freshness reuses the PR 6 replication machinery wholesale.  The router
+subscribes to a shard's acknowledged insert stream by registering as a
+peer on the primary's ``_repl`` state (its subscriber id is
+``-(server_id + 1)``, a namespace real workers never use, and it writes
+no ``/replicas`` znodes, so manager pruning and replica read routing
+never see it).  The primary's existing seq-numbered ``replica_batch``
+messages, cumulative ``replica_ack`` trimming, 0.1 s retransmits, and
+``/repl/heads`` beacons all apply unchanged; per-shard staleness is
+computed exactly like a replica's (``now - wm_time``, or ``now -
+head beat`` once the frontier has caught the head), and epochs fence
+streams across promote/restore just as they fence replicas.
+
+Seeding a cube is a ``rollup_sync`` round trip: the worker registers
+the subscriber at its current stream head, folds the shard's rows into
+one dense slab per requested cube key, and replies ``rollup_cells``
+carrying ``(epoch, head, slabs)``.  Batches that arrive while a sync is
+in flight are retained in a bounded tail and replayed over the
+freshly installed slab, so the slab lands exactly contiguous with the
+live stream -- a torn join (tail overflow, stale epoch) just drops the
+slab and re-requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.aggregates import Aggregate
+from ..olap.keys import Box
+from ..olap.rollup import CubeKey, accumulate_cells, cube_candidate
+from ..olap.rollup_store import RollupStore
+from .transport import Message
+
+__all__ = ["RollupConfig", "QueryResult", "RoutePlan", "QueryRouter"]
+
+
+@dataclass(frozen=True)
+class RollupConfig:
+    """Tuning of the per-server rollup tier."""
+
+    #: resident-bytes envelope for all cube slabs on one server
+    budget_bytes: int = 32 << 20
+    #: refuse cubes with more cells than this (a cube approaching the
+    #: raw data size stops being a summary)
+    max_cells: int = 1 << 16
+    #: decayed misses for one candidate key before it is materialized
+    admit_after: int = 2
+    #: materialize cubes on demand; off = only explicit materialize()
+    auto_admit: bool = True
+    #: demand/hit decay rate (per virtual second, halving exponent)
+    decay: float = 0.1
+    #: re-request a rollup_sync that got no reply after this long
+    sync_timeout: float = 0.5
+    #: period of the reconcile tick (sync scheduling, stream teardown)
+    reconcile_period: float = 0.25
+    #: max stream batches retained for replay while a sync is in
+    #: flight; overflow tears the join and the sync is re-requested
+    tail_limit: int = 512
+
+
+@dataclass
+class QueryResult:
+    """What ``cluster.execute`` returns per query."""
+
+    value: Aggregate
+    #: achieved coverage fraction (1.0 = complete answer)
+    coverage: float
+    #: achieved read staleness (seconds; 0.0 = primary-fresh)
+    staleness: float
+    #: which tier answered: "tree", "rollup", or "hybrid"
+    source: str
+    shards_searched: int
+    op_id: int = -1
+
+
+@dataclass
+class RoutePlan:
+    """A routing decision: the cube-served part of a query's answer
+    plus the shards that still need the tree path."""
+
+    source: str  # "rollup" (all shards cube-served) | "hybrid"
+    agg: Aggregate
+    staleness: float
+    #: total cube cells sliced (drives the hit's service time)
+    cells: int
+    #: shards whose cube data is missing/too stale: tree fan-out
+    stale_infos: list = field(default_factory=list)
+    #: shards answered from cube slabs
+    cube_served: int = 0
+
+
+def _rows_to_arrays(rows: list) -> tuple[np.ndarray, np.ndarray]:
+    coords = np.stack([r[0] for r in rows]).astype(np.int64, copy=False)
+    measures = np.asarray([r[1] for r in rows], dtype=np.float64)
+    return coords, measures
+
+
+class QueryRouter:
+    """Rollup tier of one server: cube store, stream state, routing."""
+
+    def __init__(self, server, config: RollupConfig):
+        self.server = server
+        self.cfg = config
+        self.store = RollupStore(
+            server.schema,
+            budget_bytes=config.budget_bytes,
+            max_cells=config.max_cells,
+            admit_after=config.admit_after,
+            decay=config.decay,
+        )
+        #: stream-peer id on the primaries; negative so it can never
+        #: collide with a real worker id
+        self.sub_id = -(server.server_id + 1)
+        #: shard id -> stream state, mirroring the worker replica side:
+        #: {"epoch" (None until seeded), "frontier", "applied",
+        #:  "pending_t", "wm_time", "owner", "tail"}
+        self._streams: dict[int, dict] = {}
+        #: shard id -> {"keys": set[CubeKey], "sent": float} syncs in
+        #: flight (their presence switches on tail retention)
+        self._pending_sync: dict[int, dict] = {}
+        #: cluster metrics registry, shared in by the cluster wiring;
+        #: None (standalone servers) keeps counters local-only
+        self.registry = None
+        self.hits = {"rollup": 0, "hybrid": 0}
+        self.misses = {"no_cube": 0, "stale": 0}
+        self.sync_failures = 0
+        self.rows_applied = 0
+        self.batches_applied = 0
+        self._evictions_seen = 0
+        lo = np.zeros(server.schema.num_dims, dtype=np.int64)
+        self._full_box = Box(lo, server.schema.leaf_limits.copy(), copy=False)
+        server.clock.every(config.reconcile_period, self.reconcile)
+
+    # -- metrics ------------------------------------------------------------
+
+    def _count(self, name: str, **labels) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                name, server=self.server.server_id, **labels
+            ).inc()
+
+    def _flush_evictions(self) -> None:
+        new = self.store.evictions - self._evictions_seen
+        self._evictions_seen = self.store.evictions
+        for _ in range(new):
+            self._count("volap_rollup_evictions_total")
+
+    # -- staleness ----------------------------------------------------------
+
+    def shard_lag(self, cube, info, now: float) -> Optional[float]:
+        """Estimated staleness of the cube's view of one shard, or
+        ``None`` when it cannot be cube-served at all (no slab, torn or
+        unseeded stream, owner moved, epoch fenced)."""
+        sid = info.shard_id
+        if sid not in cube.slabs:
+            return None
+        st = self._streams.get(sid)
+        if st is None or st["epoch"] is None:
+            return None
+        if st["owner"] is not None and st["owner"] != info.worker_id:
+            return None
+        zk = self.server.zk
+        cur_epoch = zk.get(f"/epochs/{sid}") or 0
+        if st["epoch"] != cur_epoch:
+            return None
+        head = zk.get(f"/repl/heads/{sid}")
+        if (
+            head is not None
+            and head[0] == cur_epoch
+            and st["frontier"] >= head[1]
+        ):
+            return max(0.0, now - head[2])
+        return max(0.0, now - st["wm_time"])
+
+    def max_lag(self, now: float) -> float:
+        """Worst current stream lag (the staleness-lag gauge)."""
+        worst = 0.0
+        for sid, st in self._streams.items():
+            if st["epoch"] is None:
+                continue
+            head = self.server.zk.get(f"/repl/heads/{sid}")
+            if (
+                head is not None
+                and head[0] == st["epoch"]
+                and st["frontier"] >= head[1]
+            ):
+                worst = max(worst, now - head[2])
+            else:
+                worst = max(worst, now - st["wm_time"])
+        return max(0.0, worst)
+
+    # -- routing ------------------------------------------------------------
+
+    def plan(self, query, infos: list, now: float) -> Optional[RoutePlan]:
+        """Decide how to serve ``query`` over ``infos``.
+
+        ``None`` means the classic tree path.  Budget-less queries
+        (no per-query ``max_staleness``, no server default) are *never*
+        routed through cubes unless ``routing="rollup"`` forces it:
+        with no staleness budget the caller asked for primary-fresh
+        data, and the tree path is the only source that guarantees it.
+        """
+        routing = getattr(query, "routing", "auto") or "auto"
+        if routing == "tree":
+            return None
+        budget = getattr(query, "max_staleness", None)
+        if budget is None:
+            budget = self.server.max_staleness
+        if routing == "rollup":
+            budget = float("inf")  # forced: serve from cubes regardless
+        elif budget is None:
+            return None
+        m = self.store.match(query.box)
+        if m is None:
+            self.misses["no_cube"] += 1
+            self._count("volap_rollup_misses_total", reason="no_cube")
+            if self.cfg.auto_admit:
+                self._note_demand(query.box, now, len(infos))
+            return None
+        cube, ranges = m
+        fresh: list[int] = []
+        stale_infos: list = []
+        staleness = 0.0
+        for info in infos:
+            lag = self.shard_lag(cube, info, now)
+            if lag is None or lag > budget:
+                stale_infos.append(info)
+            else:
+                fresh.append(info.shard_id)
+                staleness = max(staleness, lag)
+        if not fresh:
+            self.misses["stale"] += 1
+            self._count("volap_rollup_misses_total", reason="stale")
+            return None
+        agg, missing = self.store.cube_answer(cube, ranges, fresh)
+        if missing:  # pragma: no cover - shard_lag already requires slabs
+            by_sid = {i.shard_id: i for i in infos}
+            stale_infos.extend(by_sid[s] for s in missing)
+        cells = 1
+        for lo, hi in ranges:
+            cells *= hi - lo + 1
+        self.store.touch(cube.key, now)
+        source = "hybrid" if stale_infos else "rollup"
+        self.hits[source] += 1
+        self._count("volap_rollup_hits_total", source=source)
+        return RoutePlan(
+            source,
+            agg,
+            staleness,
+            cells * len(fresh),
+            stale_infos,
+            len(fresh),
+        )
+
+    def _note_demand(self, box: Box, now: float, shard_count: int) -> None:
+        key = cube_candidate(self.server.schema, box)
+        if not self.store.admissible(key):
+            return
+        if self.store.note_miss(key, now):
+            self.materialize(key, shard_count=shard_count)
+
+    def materialize(self, key: CubeKey, shard_count: int = 0) -> bool:
+        """Admit ``key`` (evicting as needed) and kick off its shard
+        syncs; also the test/bench hook for explicit pinning."""
+        now = self.server.clock.now
+        if shard_count <= 0:
+            shard_count = max(1, len(self.server.image.search(self._full_box)))
+        cube = self.store.admit(key, now, shard_count=shard_count)
+        self._flush_evictions()
+        if cube is None:
+            return False
+        self.reconcile()
+        return True
+
+    # -- stream plumbing ----------------------------------------------------
+
+    def _stream_stub(self, now: float) -> dict:
+        return {
+            "epoch": None,
+            "frontier": 0,
+            "applied": set(),
+            "pending_t": {},
+            "wm_time": now,
+            "owner": None,
+            "tail": {},
+        }
+
+    def _reset_stream(self, sid: int) -> None:
+        """Tear a shard's stream down to the unseeded stub and drop its
+        slabs: the next reconcile re-syncs from the current owner."""
+        self._streams[sid] = self._stream_stub(self.server.clock.now)
+        self._pending_sync.pop(sid, None)
+        self.store.drop_shard(sid)
+
+    def _drop_shard(self, sid: int) -> None:
+        st = self._streams.pop(sid, None)
+        self._pending_sync.pop(sid, None)
+        self.store.drop_shard(sid)
+        if st is not None and st["owner"] is not None:
+            worker = self.server.workers.get(st["owner"])
+            if worker is not None:
+                self.server.transport.send(
+                    worker,
+                    Message(
+                        "replica_remove",
+                        (sid, self.sub_id),
+                        sender=self.server,
+                    ),
+                )
+
+    def on_shard_event(self, sid: int, info) -> None:
+        """Image watch hook (called by the server's ``/shards`` watch):
+        a removed shard drops its stream and slabs immediately; a new
+        or re-homed shard is left to the reconcile tick."""
+        if info is None:
+            if sid in self._streams or sid in self.store.shard_ids():
+                self._drop_shard(sid)
+            return
+        st = self._streams.get(sid)
+        if (
+            st is not None
+            and st["owner"] is not None
+            and st["owner"] != info.worker_id
+        ):
+            # migrated or promoted away: the old stream is dead and the
+            # new owner's store may include rows it never carried
+            self._reset_stream(sid)
+
+    def reconcile(self) -> None:
+        """Periodic truth-sync: request slabs every cube is missing,
+        re-request timed-out syncs, fence moved epochs, and tear down
+        streams for shards (or cubes) that no longer exist."""
+        now = self.server.clock.now
+        zk = self.server.zk
+        if not self.store.cubes:
+            for sid in list(self._streams):
+                self._drop_shard(sid)
+            return
+        infos = {
+            i.shard_id: i for i in self.server.image.search(self._full_box)
+        }
+        for sid in list(self._streams):
+            if sid not in infos:
+                self._drop_shard(sid)
+        for sid, info in infos.items():
+            st = self._streams.get(sid)
+            if st is not None and st["epoch"] is not None:
+                if st["owner"] != info.worker_id:
+                    self._reset_stream(sid)
+                    st = self._streams[sid]
+                elif st["epoch"] != (zk.get(f"/epochs/{sid}") or 0):
+                    self._reset_stream(sid)
+                    st = self._streams[sid]
+            pending = self._pending_sync.get(sid)
+            if pending is not None and now - pending["sent"] < self.cfg.sync_timeout:
+                continue
+            needed = {
+                key
+                for key, cube in self.store.cubes.items()
+                if sid not in cube.slabs
+            }
+            if pending is not None:
+                needed |= pending["keys"]
+            if not needed:
+                continue
+            self._send_sync(sid, info, needed, now)
+
+    def _send_sync(
+        self, sid: int, info, keys: set, now: float
+    ) -> None:
+        worker = self.server.workers.get(info.worker_id)
+        if worker is None:
+            return
+        if sid not in self._streams:
+            self._streams[sid] = self._stream_stub(now)
+        self._pending_sync[sid] = {"keys": set(keys), "sent": now}
+        self.server.transport.send(
+            worker,
+            Message(
+                "rollup_sync",
+                (sid, self.sub_id, [k.to_wire() for k in sorted(
+                    keys, key=lambda k: k.to_wire()
+                )], self.server),
+                size=64 + 24 * len(keys),
+                sender=self.server,
+            ),
+        )
+
+    # -- stream message handlers --------------------------------------------
+
+    def on_replica_batch(self, msg: Message) -> None:
+        sid, epoch, seq, rows, t_created, primary = msg.payload
+        st = self._streams.get(sid)
+        if st is None:
+            # not subscribed (anymore): stop the primary's retransmits
+            self.server.transport.send(
+                primary,
+                Message(
+                    "replica_remove", (sid, self.sub_id), sender=self.server
+                ),
+            )
+            return
+        if st["epoch"] is None:
+            # pre-seed: retain for post-install replay, ack nothing.
+            # The tail is epoch-tagged so a fenced stream can never
+            # replay a dead primary's lineage over a fresh slab.
+            if sid in self._pending_sync:
+                if st.get("tail_epoch") != epoch:
+                    st["tail"].clear()
+                    st["tail_epoch"] = epoch
+                self._retain(st, seq, rows, t_created)
+            return
+        if epoch < st["epoch"]:
+            self.server.transport.send(
+                primary,
+                Message(
+                    "replica_remove", (sid, self.sub_id), sender=self.server
+                ),
+            )
+            return
+        if epoch > st["epoch"]:
+            self._reset_stream(sid)  # fenced: reconcile re-syncs
+            return
+        self._apply_batch(sid, st, seq, rows, t_created)
+        service = self.server.cost.rollup_apply_time(len(rows))
+
+        def ack() -> None:
+            cur = self._streams.get(sid)
+            if cur is None or cur["epoch"] != epoch:
+                return
+            self.server.transport.send(
+                primary,
+                Message(
+                    "replica_ack",
+                    (sid, epoch, cur["frontier"], self.sub_id),
+                    sender=self.server,
+                ),
+            )
+
+        self.server.pool.submit(service, ack)
+
+    def _retain(self, st: dict, seq: int, rows, t_created: float) -> None:
+        if isinstance(rows, tuple):
+            coords, measures = rows
+        else:
+            coords, measures = _rows_to_arrays(rows)
+        st["tail"][seq] = (coords, measures, t_created)
+        if len(st["tail"]) > self.cfg.tail_limit:
+            st["tail"].clear()
+            st["torn"] = True
+
+    def _apply_batch(
+        self, sid: int, st: dict, seq: int, rows, t_created: float
+    ) -> bool:
+        """Fold one stream batch into every installed slab of the shard
+        and advance the contiguous frontier/watermark (duplicates from
+        retransmits are no-ops)."""
+        if seq <= st["frontier"] or seq in st["applied"]:
+            return False
+        if isinstance(rows, tuple):
+            coords, measures = rows
+        else:
+            coords, measures = _rows_to_arrays(rows)
+        for cube in self.store.cubes.values():
+            slab = cube.slabs.get(sid)
+            if slab is not None:
+                accumulate_cells(
+                    self.server.schema, cube.key, coords, measures, into=slab
+                )
+        if sid in self._pending_sync:
+            self._retain(st, seq, (coords, measures), t_created)
+        st["applied"].add(seq)
+        st["pending_t"][seq] = t_created
+        while st["frontier"] + 1 in st["applied"]:
+            st["frontier"] += 1
+            st["applied"].discard(st["frontier"])
+            st["wm_time"] = st["pending_t"].pop(st["frontier"])
+        self.rows_applied += len(measures)
+        self.batches_applied += 1
+        return True
+
+    def on_rollup_cells(self, msg: Message) -> None:
+        """A worker's sync reply: install the slabs and splice them
+        onto the live stream (replaying retained tail batches past the
+        reply's head, or tearing the join if the tail cannot cover the
+        gap)."""
+        sid, epoch, head, pairs, wid = msg.payload
+        st = self._streams.get(sid)
+        pending = self._pending_sync.get(sid)
+        if st is None or pending is None:
+            return  # shard dropped, or a duplicate of a finished sync
+        if st["epoch"] is not None and epoch < st["epoch"]:
+            return  # stale reply from before a fence; retry will re-ask
+        if st["epoch"] is not None and epoch > st["epoch"]:
+            self._reset_stream(sid)
+            st = self._streams[sid]
+        now = self.server.clock.now
+        keys = [CubeKey.from_wire(kw) for kw, _ in pairs]
+        if st["epoch"] is None:
+            st["epoch"] = epoch
+            st["frontier"] = head
+            st["applied"].clear()
+            st["pending_t"].clear()
+            st["wm_time"] = now
+            st["owner"] = wid
+            self._install(sid, pairs)
+            self._finish_sync(sid, pending, keys)
+            # replay everything retained past the snapshot head (only
+            # if it was retained from this same epoch's stream)
+            tail = dict(st["tail"])
+            if st.pop("tail_epoch", epoch) != epoch or st.pop("torn", False):
+                tail = {}
+                st["tail"].clear()
+            for seq in sorted(tail):
+                coords, measures, t = tail[seq]
+                self._apply_batch(sid, st, seq, (coords, measures), t)
+            if sid not in self._pending_sync:
+                st["tail"].clear()
+                st.pop("torn", None)
+            self._ack_frontier(sid, st)
+            return
+        # same-epoch late join: the slab snapshot covers seqs <= head;
+        # everything this stream already applied past head must come
+        # from the retained tail, else the join is torn
+        needed = [
+            s
+            for s in range(head + 1, st["frontier"] + 1)
+        ] + sorted(st["applied"])
+        if st.pop("torn", False) or any(s not in st["tail"] for s in needed):
+            pending["sent"] = -1e18  # force an immediate re-request
+            return
+        self._install(sid, pairs)
+        for s in needed:
+            coords, measures, _t = st["tail"][s]
+            for key in keys:
+                cube = self.store.cubes.get(key)
+                if cube is None or sid not in cube.slabs:
+                    continue
+                accumulate_cells(
+                    self.server.schema,
+                    key,
+                    coords,
+                    measures,
+                    into=cube.slabs[sid],
+                )
+        self._finish_sync(sid, pending, keys)
+        if sid not in self._pending_sync:
+            st["tail"].clear()
+
+    def _install(self, sid: int, pairs) -> None:
+        for kw, cells in pairs:
+            cube = self.store.cubes.get(CubeKey.from_wire(kw))
+            if cube is not None:
+                cube.slabs[sid] = cells
+
+    def _finish_sync(self, sid: int, pending: dict, keys) -> None:
+        pending["keys"] -= set(keys)
+        if not pending["keys"]:
+            self._pending_sync.pop(sid, None)
+
+    def _ack_frontier(self, sid: int, st: dict) -> None:
+        owner = st["owner"]
+        worker = self.server.workers.get(owner) if owner is not None else None
+        if worker is None:
+            return
+        self.server.transport.send(
+            worker,
+            Message(
+                "replica_ack",
+                (sid, st["epoch"], st["frontier"], self.sub_id),
+                sender=self.server,
+            ),
+        )
+
+    def on_rollup_sync_failed(self, msg: Message) -> None:
+        """The worker couldn't seed (shard frozen or moved): leave the
+        sync pending; the timeout re-requests from the current owner."""
+        self.sync_failures += 1

@@ -29,6 +29,7 @@ from ..olap.schema import Schema
 from .cost import CostModel
 from .faults import RetryPolicy
 from .image import LocalImage, ShardInfo
+from .router import QueryRouter, RollupConfig
 from .simclock import ServicePool, SimClock
 from .transport import Entity, Message, Transport
 from .wire import QUERY_ROW_WIRE_BYTES, key_from_wire, key_to_wire
@@ -56,6 +57,8 @@ class _PendingQuery:
     #: worst estimated replica lag among the shards this query read
     #: from a replica; 0.0 when every shard was served by its primary
     staleness: float = 0.0
+    #: which tier answered: "tree", "rollup", or "hybrid"
+    source: str = "tree"
 
 
 @dataclass
@@ -88,6 +91,7 @@ class Server(Entity):
         image_key_kind: str = "mbr",
         retry: Optional[RetryPolicy] = None,
         max_staleness: Optional[float] = None,
+        rollup: Optional[RollupConfig] = None,
     ):
         self.server_id = server_id
         self.name = f"server-{server_id}"
@@ -119,6 +123,11 @@ class Server(Entity):
         self.insert_timeouts = 0
         self.insert_retries = 0
         self.degraded_queries = 0
+        #: rollup cache tier + adaptive routing; ``None`` (the default)
+        #: keeps the classic tree-only read path with zero added state
+        self.router = (
+            QueryRouter(self, rollup) if rollup is not None else None
+        )
         # subscribe to system image changes
         zk.watch("/shards/", self._on_shard_event)
         zk.watch("/boxes/", self._on_box_event)
@@ -450,19 +459,50 @@ class Server(Entity):
         budget = getattr(query, "max_staleness", None)
         if budget is None:
             budget = self.max_staleness
+        plan = (
+            self.router.plan(query, infos, self.clock.now)
+            if self.router is not None
+            else None
+        )
+        if plan is not None and not plan.stale_infos:
+            # pure rollup hit: answered from server-resident cube
+            # slabs, no worker fan-out at all -- so no fan-out planning
+            # cost either, just the image probe plus the hit itself
+            # (``rollup_hit_base`` covers dispatch + cube match +
+            # freshness scan)
+            pending = _PendingQuery(
+                token, op_id, reply_to, self.clock.now, plan.agg,
+                plan.cube_served, query.coverage, {}, len(infos),
+                span=span, staleness=plan.staleness, source="rollup",
+            )
+            self.pool.submit(
+                self.cost.route_node * self.image.nodes_visited_last
+                + self.cost.rollup_hit_time(plan.cells),
+                lambda: self._finish_query(pending),
+            )
+            return
+        shards_total = len(infos)
+        if plan is not None:
+            # hybrid: cube slabs cover the fresh shards; only the
+            # stale/unsynced tail goes down the tree path
+            infos = plan.stale_infos
+            service += self.cost.rollup_hit_time(plan.cells)
         by_worker, staleness = self._route_shards(infos, budget)
         pending = _PendingQuery(
             token,
             op_id,
             reply_to,
             self.clock.now,
-            Aggregate.empty(),
-            0,
+            plan.agg if plan is not None else Aggregate.empty(),
+            plan.cube_served if plan is not None else 0,
             query.coverage,
             {wid: len(sids) for wid, sids in by_worker.items()},
-            len(infos),
+            shards_total,
             span=span,
-            staleness=staleness,
+            staleness=max(
+                staleness, plan.staleness if plan is not None else 0.0
+            ),
+            source="hybrid" if plan is not None else "tree",
         )
         self._pending_queries[token] = pending
         box_t = query.box.to_tuple()
@@ -496,6 +536,8 @@ class Server(Entity):
         now = self.clock.now
         obs = self.transport.obs
         nodes = 0
+        routed_rows = 0  # rows that reached the fan-out planner
+        hit_service = 0.0
         finishes: list[_PendingQuery] = []
         by_worker: dict[int, list[tuple]] = {}
         for op_id, query, ctx in rows:
@@ -510,9 +552,11 @@ class Server(Entity):
                     batched=True,
                 )
             infos = self.image.search(query.box)
-            nodes += self.image.nodes_visited_last
+            visited = self.image.nodes_visited_last
             self.queries_routed += 1
             if not infos:
+                nodes += visited
+                routed_rows += 1
                 finishes.append(
                     _PendingQuery(
                         token, op_id, reply_to, now, Aggregate.empty(),
@@ -523,19 +567,49 @@ class Server(Entity):
             budget = getattr(query, "max_staleness", None)
             if budget is None:
                 budget = self.max_staleness
+            plan = (
+                self.router.plan(query, infos, now)
+                if self.router is not None
+                else None
+            )
+            if plan is not None and not plan.stale_infos:
+                # pure hit: no fan-out planning, just the image probe
+                # and the slab slice
+                hit_service += (
+                    self.cost.route_node * visited
+                    + self.cost.rollup_hit_time(plan.cells)
+                )
+                finishes.append(
+                    _PendingQuery(
+                        token, op_id, reply_to, now, plan.agg,
+                        plan.cube_served, query.coverage, {}, len(infos),
+                        span=span, staleness=plan.staleness,
+                        source="rollup",
+                    )
+                )
+                continue
+            nodes += visited
+            routed_rows += 1
+            shards_total = len(infos)
+            if plan is not None:
+                infos = plan.stale_infos
+                hit_service += self.cost.rollup_hit_time(plan.cells)
             grouped, staleness = self._route_shards(infos, budget)
             pending = _PendingQuery(
                 token,
                 op_id,
                 reply_to,
                 now,
-                Aggregate.empty(),
-                0,
+                plan.agg if plan is not None else Aggregate.empty(),
+                plan.cube_served if plan is not None else 0,
                 query.coverage,
                 {wid: len(sids) for wid, sids in grouped.items()},
-                len(infos),
+                shards_total,
                 span=span,
-                staleness=staleness,
+                staleness=max(
+                    staleness, plan.staleness if plan is not None else 0.0
+                ),
+                source="hybrid" if plan is not None else "tree",
             )
             self._pending_queries[token] = pending
             box_t = query.box.to_tuple()
@@ -548,7 +622,9 @@ class Server(Entity):
                 self.retry.query_deadline,
                 lambda token=token: self._query_deadline(token),
             )
-        service = self.cost.route_time(nodes)
+        service = (
+            self.cost.route_time(nodes) if routed_rows else 0.0
+        ) + hit_service
 
         def fan_out() -> None:
             for worker_id, entries in by_worker.items():
@@ -641,10 +717,38 @@ class Server(Entity):
                     pending.coverage,
                     achieved,
                     pending.staleness,
+                    pending.source,
                 ),
                 sender=self,
             ),
         )
+
+    # -- rollup tier stream plumbing ------------------------------------------
+
+    def _on_replica_batch(self, msg: Message) -> None:
+        """Insert-stream batch for the rollup tier (the server is a
+        stream subscriber exactly like a replica)."""
+        if self.router is not None:
+            self.router.on_replica_batch(msg)
+            return
+        # no tier: tell the primary to stop streaming at us
+        primary = msg.payload[5]
+        self.transport.send(
+            primary,
+            Message(
+                "replica_remove",
+                (msg.payload[0], -(self.server_id + 1)),
+                sender=self,
+            ),
+        )
+
+    def _on_rollup_cells(self, msg: Message) -> None:
+        if self.router is not None:
+            self.router.on_rollup_cells(msg)
+
+    def _on_rollup_sync_failed(self, msg: Message) -> None:
+        if self.router is not None:
+            self.router.on_rollup_sync_failed(msg)
 
     # -- synchronisation (paper III-B / IV-F) ---------------------------------
 
@@ -673,8 +777,12 @@ class Server(Entity):
         if data is None:
             if sid in self.image:
                 self.image.remove_shard(sid)
+            if self.router is not None:
+                self.router.on_shard_event(sid, None)
             return
         info = ShardInfo.from_wire(data)
+        if self.router is not None:
+            self.router.on_shard_event(sid, info)
         if sid in self.image:
             self.image.update_worker(sid, info.worker_id)
             self.image.update_size(sid, info.size)

@@ -46,6 +46,9 @@ class OpRecord:
     #: queries, the worst estimated replica lag among the shards a
     #: bounded-staleness query read from a replica
     staleness: float = 0.0
+    #: which tier answered a query: "tree" (descent), "rollup"
+    #: (server-resident cube slabs), or "hybrid" (cube + tree tail)
+    source: str = "tree"
 
     @property
     def latency(self) -> float:

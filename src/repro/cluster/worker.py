@@ -36,6 +36,7 @@ from ..core.hilbert_trees import HilbertPDCTree
 from ..obs.metrics import DEFAULT_COUNT_BUCKETS
 from ..olap.keys import Box
 from ..olap.records import RecordBatch, concat_batches
+from ..olap.rollup import CubeKey, accumulate_cells
 from ..olap.schema import Schema
 from .cost import CostModel
 from .faults import CheckpointStore
@@ -299,6 +300,8 @@ class Worker(Entity):
         #: per-row tee-to-apply delay on this worker's replicas; what
         #: the PBS freshness model consumes as a staleness distribution
         self.repl_apply_lags: list[float] = []
+        #: cube slabs seeded for server rollup tiers (``rollup_sync``)
+        self.rollup_seeds = 0
 
     # -- crash / restart ---------------------------------------------------
 
@@ -1163,12 +1166,67 @@ class Worker(Entity):
         self._trim_log(st)
 
     def _on_replica_remove(self, msg: Message) -> None:
-        """Manager pruned a (dead or stale) replica: stop streaming."""
+        """Manager pruned a (dead or stale) replica -- or a server tore
+        down a rollup-tier subscription: stop streaming to it."""
         shard_id, wid = msg.payload
         st = self._repl.get(shard_id)
         if st is not None:
             st["peers"].pop(wid, None)
             self._trim_log(st)
+
+    def _on_rollup_sync(self, msg: Message) -> None:
+        """Seed a server's rollup cubes from this primary's shard.
+
+        Registers the server as a peer on the shard's replication
+        stream (subscriber ids are negative, so they never collide with
+        worker ids and never appear under ``/replicas``), snapshots the
+        stream head, folds the shard's rows into one dense slab per
+        requested cube key, and replies with ``(epoch, head, slabs)``.
+        Rows applied after the head stream over as ordinary
+        ``replica_batch`` messages, so slab + stream is exactly the
+        shard -- the same contract a seeded replica gets.
+        """
+        shard_id, sub_id, keys_wire, reply_to = msg.payload
+        store = self.shards.get(shard_id)
+        if store is None or shard_id in self.frozen:
+            self.transport.send(
+                reply_to,
+                Message(
+                    "rollup_sync_failed",
+                    (shard_id, self.worker_id),
+                    sender=self,
+                ),
+            )
+            return
+        epoch = self.zk.get(f"/epochs/{shard_id}") or 0
+        st = self._repl_state(shard_id, epoch)
+        head = st["head"]
+        st["peers"][sub_id] = {"entity": reply_to, "acked": head}
+        batch = store.items()
+        pairs = []
+        size = 64
+        for kw in keys_wire:
+            key = CubeKey.from_wire(kw)
+            cells = accumulate_cells(
+                self.schema, key, batch.coords, batch.measures
+            )
+            pairs.append((key.to_wire(), cells))
+            size += cells.resident_bytes()
+        self.rollup_seeds += len(pairs)
+        service = self.cost.rollup_seed_time(len(batch) * max(1, len(pairs)))
+
+        def send_cells() -> None:
+            self.transport.send(
+                reply_to,
+                Message(
+                    "rollup_cells",
+                    (shard_id, epoch, head, pairs, self.worker_id),
+                    size=size,
+                    sender=self,
+                ),
+            )
+
+        self._submit(service, send_cells)
 
     # -- replication: replica side ---------------------------------------------
 

@@ -12,11 +12,31 @@ from .keys import Box, point_box, union_all
 from .mds import MDS
 from .query import Query, full_query, query_from_levels
 from .records import RecordBatch, concat_batches
-from .rollup import drilldown_path, group_boxes, pivot, rollup
+from .rollup import (
+    CubeCells,
+    CubeKey,
+    accumulate_cells,
+    cube_candidate,
+    cube_ranges,
+    cube_shape,
+    drilldown_path,
+    group_boxes,
+    pivot,
+    rollup,
+)
+from .rollup_store import Cube, RollupStore
 from .schema import Schema
 
 __all__ = [
     "Box",
+    "Cube",
+    "CubeCells",
+    "CubeKey",
+    "RollupStore",
+    "accumulate_cells",
+    "cube_candidate",
+    "cube_ranges",
+    "cube_shape",
     "Dimension",
     "Hierarchy",
     "Level",

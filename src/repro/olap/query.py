@@ -9,7 +9,7 @@ range, so a query is geometrically a :class:`~repro.olap.keys.Box`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -17,6 +17,9 @@ from .keys import Box
 from .schema import Schema
 
 __all__ = ["Query", "query_from_levels", "full_query"]
+
+#: valid values of ``Query.routing`` / ``cluster.execute(routing=...)``
+ROUTING_MODES = ("auto", "tree", "rollup")
 
 #: a per-dimension constraint: hierarchy level (1-based depth or level
 #: name, matching ``Level.name`` in the ``Schema``) plus the prefix path
@@ -38,14 +41,30 @@ class Query:
         Optional bounded-staleness budget (virtual seconds).  ``None``
         means the query must be served by shard primaries; a value
         allows the server to route a shard's read to an asynchronous
-        replica whose estimated lag fits the budget (the achieved
-        staleness comes back with the result).
+        replica -- or a materialized rollup cube -- whose estimated lag
+        fits the budget (the achieved staleness comes back with the
+        result).
+    routing:
+        Which tier may answer: ``"auto"`` (rollup cubes when valid,
+        tree otherwise), ``"tree"`` (pin to tree descent), or
+        ``"rollup"`` (prefer cubes regardless of budget, falling back
+        to the tree only when no cube matches).
+    group_levels:
+        For rollup-built queries (:meth:`Query.rollup`): the
+        ``(dim_name, depth)`` pairs this query groups by, letting the
+        router match cubes without re-deriving them from the box.
+    group_path:
+        For rollup-built queries: the group member's per-dimension
+        local-id paths, in ``group_levels`` order.
     """
 
     box: Box
     coverage: float = float("nan")
     query_id: int = -1
     max_staleness: "float | None" = None
+    routing: str = "auto"
+    group_levels: Optional[tuple[tuple[str, int], ...]] = None
+    group_path: Optional[tuple[tuple[int, ...], ...]] = None
 
     @property
     def num_dims(self) -> int:
@@ -66,6 +85,59 @@ class Query:
         """
         return query_from_levels(schema, constraints)
 
+    @classmethod
+    def rollup(
+        cls,
+        schema: Schema,
+        group_by: Sequence[Union[str, tuple[str, Union[int, str]]]],
+        where: Optional[Mapping[str, Constraint]] = None,
+    ) -> list["Query"]:
+        """Build the per-group queries of a grouped rollup, one per
+        member of the cross product of the grouped levels.
+
+        ``group_by`` items are ``"dim:level"`` strings or ``(dim,
+        level)`` pairs (level name or 1-based depth); ``where``
+        restricts the region with the same per-dimension constraints as
+        :meth:`Query.range`.  Every returned query carries
+        ``group_levels`` / ``group_path`` so results map back to group
+        members and the rollup tier can match cubes level-first:
+
+        >>> qs = Query.rollup(schema, group_by=("date:month",))  # doctest: +SKIP
+        >>> {q.group_path: r.value for q, r in zip(qs, cluster.execute(qs))}  # doctest: +SKIP
+        """
+        from .rollup import group_boxes  # local: avoids a cycle
+
+        items: list[tuple[str, int]] = []
+        for spec in group_by:
+            if isinstance(spec, str):
+                if ":" not in spec:
+                    raise ValueError(
+                        f"group_by item {spec!r} must be 'dim:level'"
+                    )
+                name, level = spec.split(":", 1)
+            else:
+                name, level = spec
+            h = schema.dimension(name).hierarchy
+            items.append((name, _resolve_depth(h, level, name)))
+        if len({n for n, _ in items}) != len(items):
+            raise ValueError("group_by lists a dimension twice")
+        base = query_from_levels(schema, dict(where) if where else {})
+        levels = tuple(items)
+        out: list[Query] = []
+
+        def expand(i: int, box: Box, paths: tuple) -> None:
+            if i == len(items):
+                out.append(
+                    cls(box, group_levels=levels, group_path=paths)
+                )
+                return
+            name, depth = items[i]
+            for path, sub in group_boxes(schema, name, depth, within=box):
+                expand(i + 1, sub, paths + (tuple(path),))
+
+        expand(0, base.box, ())
+        return out
+
 
 def _resolve_depth(h, level: Union[int, str], dim: str) -> int:
     """Map a level name (or pass through a 1-based depth) to a depth."""
@@ -73,6 +145,8 @@ def _resolve_depth(h, level: Union[int, str], dim: str) -> int:
         for i, lvl in enumerate(h.levels):
             if lvl.name == level:
                 return i + 1
+        if level.lstrip("-").isdigit():  # "dim:2" in a group_by string
+            return int(level)
         raise ValueError(
             f"dimension {dim!r} has no level named {level!r}; "
             f"levels are {[lvl.name for lvl in h.levels]}"

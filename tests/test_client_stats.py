@@ -39,7 +39,7 @@ class EchoServer(Entity):
             reply = Message(
                 "query_done",
                 (op_id, self.clock.now, Aggregate.of_value(1.0), 2,
-                 query.coverage, 1.0, 0.0),
+                 query.coverage, 1.0, 0.0, "tree"),
             )
         self.clock.after(self.delay, lambda: client.receive(reply))
 

@@ -10,6 +10,8 @@ kinds must never lose or double-apply a record -- retransmits degrade
 to the singleton path and workers dedup per ``op_id``.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -226,8 +228,8 @@ class TestQueryBatching:
         assert all(r.achieved == 1.0 for r in rb)
         assert batched.transport.messages_sent < plain.transport.messages_sent
 
-    def test_cluster_query_batch_convenience(self):
-        """``VOLAPCluster.query_batch`` returns ordered, oracle-exact
+    def test_cluster_execute_convenience(self):
+        """``VOLAPCluster.execute`` returns ordered, oracle-exact
         results with full coverage."""
         schema = make_schema()
         boot = int_batch(schema, 1200, seed=2)
@@ -240,13 +242,41 @@ class TestQueryBatching:
                           batch_size=16, batch_linger=5e-4),
         )
         cluster.bootstrap(boot)
-        results = cluster.query_batch([Query(b) for b in boxes])
+        results = cluster.execute([Query(b) for b in boxes])
         assert len(results) == len(boxes)
-        for box, (agg, achieved) in zip(boxes, results):
+        for box, res in zip(boxes, results):
             want, _ = oracle.query(box)
-            assert agg.count == want.count
-            assert agg.total == want.total
-            assert achieved == 1.0
+            assert res.value.count == want.count
+            assert res.value.total == want.total
+            assert res.coverage == 1.0
+            assert res.source == "tree"
+            assert res.staleness == 0.0
+
+    def test_query_batch_shim_warns_once_and_matches_execute(self):
+        """The deprecated ``query_batch`` wrapper warns once, then
+        returns the legacy ``(agg, achieved)`` pairs for the same
+        answers ``execute`` gives."""
+        from repro.cluster import cluster as cluster_mod
+
+        schema = make_schema()
+        boot = int_batch(schema, 400, seed=4)
+        boxes = random_boxes(schema, 8, seed=21)
+        cluster = VOLAPCluster(
+            schema, ClusterConfig(num_workers=2, num_servers=1, seed=7)
+        )
+        cluster.bootstrap(boot)
+        want = cluster.execute([Query(b) for b in boxes])
+
+        cluster_mod._warned_batch_aliases.discard("query_batch")
+        with pytest.warns(DeprecationWarning, match="use VOLAPCluster.execute"):
+            legacy = cluster.query_batch([Query(b) for b in boxes])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second call: no warning
+            legacy2 = cluster.query_batch([Query(b) for b in boxes])
+        for res, (agg, achieved) in zip(want, legacy):
+            assert agg.count == res.value.count
+            assert achieved == res.coverage
+        assert [a.count for a, _ in legacy] == [a.count for a, _ in legacy2]
 
     def test_ops_total_counts_logical_queries(self):
         """Batched queries are recorded exactly like singletons: the

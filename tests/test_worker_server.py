@@ -247,7 +247,7 @@ class TestServer:
         clock.run_until(0.9)
         msg = sink.received[0]
         assert msg.kind == "query_done"
-        _tok, _t0, agg, searched, _cov, achieved, _stale = msg.payload
+        _tok, _t0, agg, searched, _cov, achieved, _stale, _src = msg.payload
         assert agg.count == len(batch)
         assert searched >= 1
 
