@@ -8,8 +8,14 @@ simulated substrate, interleaves a sales stream with dashboard queries,
 and prints the dashboard after each round -- note the counts growing as
 the stream flows.
 
-Run:  python examples/retail_dashboard.py
+Run:  python examples/retail_dashboard.py [--backend sim|asyncio]
+
+The same entity code runs on the discrete-event sim (default) or in
+wall-clock time on the asyncio backend (docs/runtime.md); with
+``--backend asyncio`` the latencies printed are real milliseconds.
 """
+
+import argparse
 
 from repro import TPCDSGenerator, tpcds_schema
 from repro.cluster import ClusterConfig, VOLAPCluster
@@ -30,11 +36,29 @@ def dashboard_queries(schema):
 
 
 def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--backend",
+        choices=("sim", "asyncio"),
+        default="sim",
+        help="runtime backend (docs/runtime.md)",
+    )
+    args = ap.parse_args()
+
     schema = tpcds_schema()
     gen = TPCDSGenerator(schema, seed=7, time_correlated=True)
 
     cluster = VOLAPCluster(
-        schema, ClusterConfig(num_workers=4, num_servers=2)
+        schema,
+        ClusterConfig(
+            num_workers=4,
+            num_servers=2,
+            runtime=args.backend,
+            # 1 model second == 100 real ms on the asyncio backend;
+            # generous so retry timeouts dwarf real handler time
+            # (docs/runtime.md, "Wall-clock semantics")
+            time_scale=0.1,
+        ),
     )
     cluster.bootstrap(gen.batch(30_000), shards_per_worker=3)
     print(
@@ -90,6 +114,7 @@ def main() -> None:
         f"{cluster.stats.throughput(ins):,.0f} facts/s (virtual), "
         f"mean latency {cluster.stats.latency_stats(ins)['mean'] * 1e3:.2f} ms"
     )
+    cluster.close()
 
 
 if __name__ == "__main__":

@@ -36,7 +36,6 @@ from ..workloads.streams import Operation
 from .faults import RetryPolicy
 from .stats import ClusterStats, OpRecord
 from .transport import Entity, Message, Transport
-from .wire import QUERY_ROW_WIRE_BYTES
 
 __all__ = ["ClientSession"]
 
@@ -176,7 +175,6 @@ class ClientSession(Entity):
             Message(
                 "client_insert_batch",
                 (rows, self),
-                size=72 * len(rows),
                 sender=self,
             ),
         )
@@ -201,7 +199,6 @@ class ClientSession(Entity):
             Message(
                 "client_query_batch",
                 (rows, self),
-                size=QUERY_ROW_WIRE_BYTES * len(rows),
                 sender=self,
             ),
         )

@@ -9,6 +9,7 @@ time control.
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional, Union
@@ -23,6 +24,7 @@ from ..obs import MetricsRegistry, Observability
 from ..olap.query import ROUTING_MODES, Query
 from ..olap.records import RecordBatch
 from ..olap.schema import Schema
+from ..runtime import make_runtime
 from .balancer import BalancerPolicy, ThresholdPolicy
 from .client import ClientSession
 from .cost import CostModel
@@ -32,8 +34,7 @@ from .router import QueryResult, RollupConfig
 from .server import Server
 from .simclock import SimClock
 from .stats import ClusterStats, OpRecord
-from .transport import LatencyModel, Message, Transport
-from .wire import QUERY_ROW_WIRE_BYTES
+from .transport import Entity, LatencyModel, Message
 from .worker import Worker
 from .zookeeper import Zookeeper
 
@@ -114,6 +115,24 @@ class ClusterConfig:
     #: query routing); ``None`` disables the tier entirely -- no cube
     #: state, no stream subscriptions, classic tree-only reads
     rollup: Optional[RollupConfig] = None
+    #: execution backend: ``"sim"`` (discrete-event, the default),
+    #: ``"asyncio"`` (wall clock, one process) or ``"mp"`` (one process
+    #: per worker, column frames on the worker pipes).  Defaults from
+    #: ``$VOLAP_RUNTIME`` so CI can matrix the whole suite over a
+    #: backend without touching test code.
+    runtime: str = field(
+        default_factory=lambda: os.environ.get("VOLAP_RUNTIME", "sim")
+    )
+    #: model-to-real seconds ratio on the wall-clock backends (0.05
+    #: runs modeled periods 20x compressed); the sim ignores it.
+    #: Defaults from ``$VOLAP_TIME_SCALE``.
+    time_scale: float = field(
+        default_factory=lambda: float(os.environ.get("VOLAP_TIME_SCALE", "1.0"))
+    )
+    #: backend-specific switches forwarded to ``make_runtime`` (e.g.
+    #: ``{"streams": True}`` to carry the asyncio data plane over
+    #: loopback TCP)
+    runtime_options: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.client_batch_size is not None:
@@ -133,11 +152,17 @@ class VOLAPCluster:
     def __init__(self, schema: Schema, config: Optional[ClusterConfig] = None):
         self.schema = schema
         self.config = config if config is not None else ClusterConfig()
-        self.clock = SimClock()
-        self.transport = Transport(
-            self.clock, self.config.latency, seed=self.config.seed
+        self.runtime = make_runtime(
+            self.config.runtime,
+            latency=self.config.latency,
+            seed=self.config.seed,
+            time_scale=self.config.time_scale,
+            options=self.config.runtime_options,
         )
+        self.clock = self.runtime.clock
+        self.transport = self.runtime.transport
         self.zk = Zookeeper(self.clock)
+        self.runtime.register(self.zk)
         self.stats = ClusterStats()
         self.checkpoints = CheckpointStore()
         self.workers: dict[int, Worker] = {}
@@ -163,6 +188,7 @@ class VOLAPCluster:
             for sid in range(self.config.num_servers)
         ]
         for s in self.servers:
+            self.runtime.register(s)
             if s.router is not None:
                 # share the cluster registry so the tier's hit/miss/
                 # eviction counters land in cluster.metrics
@@ -183,6 +209,12 @@ class VOLAPCluster:
             heartbeat_miss_k=self.config.heartbeat_miss_k,
             replication_factor=self.config.replication_factor,
         )
+        self.runtime.register(self.manager)
+        if self.runtime.kind == "mp":
+            # mp v1 serves ingest and queries from child processes; the
+            # balancing/failover control loops (splits, migrations,
+            # replica placement) stay sim-only for now
+            self.manager.enabled = False
         self._clients: list[ClientSession] = []
         self._mapper = HilbertKeyMapper(schema)
         self.stats.registry.register_collector(self._collect_entity_gauges)
@@ -297,6 +329,20 @@ class VOLAPCluster:
     # -- wiring helpers --------------------------------------------------------
 
     def _make_worker(self, wid: int) -> Worker:
+        if self.runtime.kind == "mp":
+            w = self.runtime.spawn_worker(
+                wid,
+                self.zk,
+                self.schema,
+                self.config.tree_config,
+                self.config.worker_threads,
+                self.config.cost,
+                self.config.store_cls,
+            )
+            self.workers[wid] = w
+            w.peers = self.workers
+            w.publish_stats()
+            return w
         w = Worker(
             wid,
             self.clock,
@@ -309,6 +355,7 @@ class VOLAPCluster:
             store_cls=self.config.store_cls,
         )
         self.workers[wid] = w
+        self.runtime.register(w)
         # the shared directory lets a demoted primary address its
         # handoff to whichever worker took over (includes late joiners)
         w.peers = self.workers
@@ -400,6 +447,7 @@ class VOLAPCluster:
             ),
         )
         self._clients.append(c)
+        self.runtime.register(c)
         return c
 
     # -- fault injection / chaos controls ------------------------------------
@@ -439,6 +487,7 @@ class VOLAPCluster:
         acked = [0]
         expected = [0]
         sink = _BulkSink(acked)
+        self.runtime.register(sink)
         for lo in range(0, len(batch), chunk):
             sub = batch.slice(lo, min(lo + chunk, len(batch)))
             groups: dict[int, list[int]] = {}
@@ -449,22 +498,20 @@ class VOLAPCluster:
                 owner[info.shard_id] = info.worker_id
             for sid, rows in groups.items():
                 expected[0] += 1
+                # dedup tokens live in a reserved integer space (they
+                # must survive the int64 wire columns)
+                token = (0xBBB << 32) | expected[0]
                 self.transport.send(
                     self.workers[owner[sid]],
                     Message(
                         "bulk_insert",
-                        (sid, sub.take(np.array(rows)), ("bulk", expected[0]), sink),
-                        size=len(rows) * 72,
+                        (sid, sub.take(np.array(rows)), token, sink),
                     ),
                 )
-        # run the simulation until every chunk is acknowledged
-        guard = 0
-        while acked[0] < expected[0]:
-            if not self.clock.step():
-                break
-            guard += 1
-            if guard > 50_000_000:  # pragma: no cover - runaway guard
-                raise RuntimeError("bulk load did not converge")
+        # run until every chunk is acknowledged
+        self.runtime.drive(
+            lambda: acked[0] >= expected[0], desc="bulk load"
+        )
         server.sync_to_zookeeper()
         return self.clock.now - start
 
@@ -526,6 +573,7 @@ class VOLAPCluster:
         server = self.servers[server_index % len(self.servers)]
         results: dict[int, QueryResult] = {}
         sink = _QuerySink(results, self.stats, self.clock)
+        self.runtime.register(sink)
         # op ids live in a reserved pseudo-client space; replies route
         # by entity, so they never collide with real sessions
         rows = [
@@ -533,20 +581,11 @@ class VOLAPCluster:
             for i, q in enumerate(effective)
         ]
         self.transport.send(
-            server,
-            Message(
-                "client_query_batch",
-                (rows, sink),
-                size=QUERY_ROW_WIRE_BYTES * len(rows),
-            ),
+            server, Message("client_query_batch", (rows, sink))
         )
-        guard = 0
-        while len(results) < len(queries):
-            if not self.clock.step():
-                break
-            guard += 1
-            if guard > 50_000_000:  # pragma: no cover - runaway guard
-                raise RuntimeError("execute did not converge")
+        self.runtime.drive(
+            lambda: len(results) >= len(queries), desc="execute"
+        )
         out = [results[op_id] for op_id, _, _ in rows]
         return out[0] if single else out
 
@@ -571,19 +610,34 @@ class VOLAPCluster:
     # -- execution ------------------------------------------------------------
 
     def run_until(self, t: float) -> None:
-        self.clock.run_until(t)
+        self.runtime.run_until(t)
 
     def run_for(self, dt: float) -> None:
-        self.clock.run_until(self.clock.now + dt)
+        self.runtime.run_for(dt)
 
     def run_until_clients_done(self, max_virtual: float = 3600.0) -> None:
         """Advance until every session drains (or the horizon passes)."""
         horizon = self.clock.now + max_virtual
-        while any(not c.done for c in self._clients):
-            if not self.clock.step():
-                break
-            if self.clock.now > horizon:
-                raise RuntimeError("clients did not finish before horizon")
+        self.runtime.drive(
+            lambda: all(c.done for c in self._clients),
+            horizon=horizon,
+            desc="clients",
+        )
+
+    def barrier(self) -> None:
+        """Wait for remote workers to drain (a no-op on sim/asyncio)."""
+        self.runtime.barrier()
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, sockets, the
+        event loop); a no-op on the sim backend and when called twice."""
+        self.runtime.close()
+
+    def __enter__(self) -> "VOLAPCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- introspection -----------------------------------------------------------
 
@@ -597,7 +651,7 @@ class VOLAPCluster:
         return {wid: w.total_items() for wid, w in self.workers.items()}
 
 
-class _QuerySink:
+class _QuerySink(Entity):
     """Collects ``query_done`` replies for :meth:`VOLAPCluster.execute`,
     recording one ``OpRecord`` per logical query like a session would."""
 
@@ -645,7 +699,7 @@ class _QuerySink:
         )
 
 
-class _BulkSink:
+class _BulkSink(Entity):
     """Counts bulk acks during :meth:`VOLAPCluster.bulk_load`."""
 
     name = "bulk-sink"

@@ -345,7 +345,7 @@ class Manager(Entity):
             Message(
                 "restore_shard",
                 (sid, blob, self),
-                size=len(blob) if blob is not None else 64,
+                size=len(blob) if blob is not None else None,
                 sender=self,
                 ctx=op.span.ctx if op.span is not None else None,
             ),

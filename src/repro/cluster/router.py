@@ -393,7 +393,6 @@ class QueryRouter:
                 (sid, self.sub_id, [k.to_wire() for k in sorted(
                     keys, key=lambda k: k.to_wire()
                 )], self.server),
-                size=64 + 24 * len(keys),
                 sender=self.server,
             ),
         )

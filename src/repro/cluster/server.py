@@ -30,9 +30,9 @@ from .cost import CostModel
 from .faults import RetryPolicy
 from .image import LocalImage, ShardInfo
 from .router import QueryRouter, RollupConfig
-from .simclock import ServicePool, SimClock
+from .simclock import SimClock
 from .transport import Entity, Message, Transport
-from .wire import QUERY_ROW_WIRE_BYTES, key_from_wire, key_to_wire
+from .wire import key_from_wire, key_to_wire
 from .zookeeper import Zookeeper
 
 __all__ = ["Server"]
@@ -100,7 +100,7 @@ class Server(Entity):
         self.zk = zk
         self.schema = schema
         self.workers = workers  # worker_id -> Worker entity
-        self.pool = ServicePool(clock, threads)
+        self.pool = clock.make_pool(threads)
         self.cost = cost if cost is not None else CostModel()
         self.sync_period = sync_period
         self.image = LocalImage(
@@ -222,7 +222,6 @@ class Server(Entity):
                     Message(
                         "insert_batch",
                         (entries, self),
-                        size=72 * len(entries),
                         sender=self,
                     ),
                 )
@@ -246,7 +245,6 @@ class Server(Entity):
                 Message(
                     "insert_done_batch",
                     (op_ids,),
-                    size=16 * len(op_ids),
                     sender=self,
                 ),
             )
@@ -633,7 +631,6 @@ class Server(Entity):
                     Message(
                         "query_batch",
                         (entries, self),
-                        size=QUERY_ROW_WIRE_BYTES * len(entries),
                         sender=self,
                     ),
                 )

@@ -16,7 +16,29 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
-__all__ = ["SimClock", "ServicePool"]
+__all__ = ["Timer", "SimClock", "ServicePool"]
+
+
+class Timer:
+    """A cancellable handle for a scheduled callback.
+
+    Every clock implementation (sim or wall-clock, see
+    :mod:`repro.runtime`) returns one of these from ``at``/``after``/
+    ``every``; ``cancel()`` prevents any future firing.  Cancelled
+    entries are skipped in place, so cancellation never perturbs the
+    ordering of the remaining events.
+    """
+
+    __slots__ = ("when", "fn", "cancelled")
+
+    def __init__(self, when: float, fn: Callable[[], None]):
+        self.when = when
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self.fn = None  # drop references early
 
 
 class SimClock:
@@ -24,21 +46,23 @@ class SimClock:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Timer]] = []
         self._seq = itertools.count()
         self._events_processed = 0
 
-    def at(self, when: float, fn: Callable[[], None]) -> None:
+    def at(self, when: float, fn: Callable[[], None]) -> Timer:
         """Schedule ``fn`` to run at absolute virtual time ``when``."""
         if when < self.now:
             raise ValueError(f"cannot schedule in the past ({when} < {self.now})")
-        heapq.heappush(self._heap, (when, next(self._seq), fn))
+        timer = Timer(when, fn)
+        heapq.heappush(self._heap, (when, next(self._seq), timer))
+        return timer
 
-    def after(self, delay: float, fn: Callable[[], None]) -> None:
+    def after(self, delay: float, fn: Callable[[], None]) -> Timer:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError("negative delay")
-        self.at(self.now + delay, fn)
+        return self.at(self.now + delay, fn)
 
     def every(
         self,
@@ -47,19 +71,29 @@ class SimClock:
         *,
         start: Optional[float] = None,
         until: Optional[float] = None,
-    ) -> None:
+    ) -> Timer:
         """Run ``fn`` periodically (first firing at ``start`` or now+period)."""
         if period <= 0:
             raise ValueError("period must be positive")
         first = start if start is not None else self.now + period
+        handle = Timer(first, None)
 
         def tick() -> None:
+            if handle.cancelled:
+                return
             if until is not None and self.now > until:
                 return
             fn()
-            self.at(self.now + period, tick)
+            handle.when = self.now + period
+            self.at(handle.when, tick)
 
+        handle.fn = tick
         self.at(max(first, self.now), tick)
+        return handle
+
+    def make_pool(self, threads: int) -> "ServicePool":
+        """Build the service-station model matching this clock kind."""
+        return ServicePool(self, threads)
 
     @property
     def pending(self) -> int:
@@ -71,18 +105,25 @@ class SimClock:
 
     def step(self) -> bool:
         """Process one event; False when nothing is scheduled."""
-        if not self._heap:
-            return False
-        when, _, fn = heapq.heappop(self._heap)
-        self.now = when
-        self._events_processed += 1
-        fn()
-        return True
+        while self._heap:
+            when, _, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue  # skipped in place: does not advance time
+            self.now = when
+            self._events_processed += 1
+            timer.fn()
+            return True
+        return False
 
     def run_until(self, t: float, max_events: Optional[int] = None) -> None:
         """Process events up to virtual time ``t`` (inclusive)."""
         n = 0
-        while self._heap and self._heap[0][0] <= t:
+        while self._heap:
+            if self._heap[0][2].cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if self._heap[0][0] > t:
+                break
             self.step()
             n += 1
             if max_events is not None and n >= max_events:

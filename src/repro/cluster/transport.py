@@ -9,6 +9,7 @@ with ZeroMQ over TCP when messages are comparably sized.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -45,10 +46,31 @@ class Message:
     kind: str
     payload: Any = None
     sender: Optional["Entity"] = None
-    size: int = 128  # wire size estimate in bytes
+    #: wire size in bytes.  ``None`` (the default) means "compute the
+    #: actual serialized frame length at send time" (see
+    #: :func:`repro.runtime.frames.wire_size`); pass an explicit value
+    #: only when the payload already is wire bytes (e.g. shard blobs).
+    size: Optional[int] = None
     #: optional SpanContext (see obs/spans.py) so the receiver can
     #: parent its span under the sender's; ``None`` when tracing is off
     ctx: Any = None
+
+    def clone(self) -> "Message":
+        """A defensive copy for fault-duplicated deliveries.
+
+        The payload is deep-copied so a receiver mutating the first
+        delivery cannot corrupt the duplicate, while :class:`Entity`
+        references inside the payload (reply-to handles, sinks) pass
+        through by identity -- a duplicate must still route its reply
+        to the *same* entity, not a ghost copy of it.
+        """
+        return Message(
+            self.kind,
+            copy.deepcopy(self.payload),
+            sender=self.sender,
+            size=self.size,
+            ctx=self.ctx,
+        )
 
 
 class Entity:
@@ -58,6 +80,21 @@ class Entity:
 
     def receive(self, msg: Message) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def __deepcopy__(self, memo: dict) -> "Entity":
+        # entities are identities, not values: deep-copying a message
+        # payload must never fork a live worker/server/client
+        return self
+
+
+def _wire_size(msg: Message, dst: Entity) -> int:
+    """Actual serialized frame length of ``msg`` (lazy import: the
+    frames codec sits above this module in the layering)."""
+    from ..runtime import frames
+
+    return frames.wire_size(
+        msg.kind, msg.payload, getattr(dst, "name", "") or ""
+    )
 
 
 class Transport:
@@ -83,21 +120,36 @@ class Transport:
 
     def send(self, dst: Entity, msg: Message) -> None:
         """Schedule delivery of ``msg`` to ``dst``."""
+        if msg.size is None:
+            msg.size = _wire_size(msg, dst)
         self.messages_sent += 1
         self.bytes_sent += msg.size
         if self.obs is not None:
             self.obs.on_message(msg)
         delay = self.latency.delay(msg.size, self.rng)
         if self.faults is not None:
-            for extra in self.faults.plan_delivery(msg, dst):
-                self.clock.after(delay + extra, lambda: dst.receive(msg))
+            for i, extra in enumerate(self.faults.plan_delivery(msg, dst)):
+                # the first copy delivers the original; every duplicate
+                # gets a defensive clone so a receiver mutating one
+                # delivery cannot corrupt the others
+                delivered = msg if i == 0 else msg.clone()
+                self.deliver(dst, delivered, delay + extra)
             return
-        self.clock.after(delay, lambda: dst.receive(msg))
+        self.deliver(dst, msg, delay)
 
     def send_local(self, dst: Entity, msg: Message) -> None:
         """Same-process delivery (inter-thread ZeroMQ): negligible delay."""
+        if msg.size is None:
+            msg.size = _wire_size(msg, dst)
         self.messages_sent += 1
         self.bytes_sent += msg.size
         if self.obs is not None:
             self.obs.on_message(msg)
-        self.clock.after(1e-6, lambda: dst.receive(msg))
+        self.deliver(dst, msg, 1e-6)
+
+    def deliver(self, dst: Entity, msg: Message, delay: float) -> None:
+        """Hand ``msg`` to ``dst`` after ``delay``.  The single seam a
+        runtime backend overrides: the sim schedules a clock callback;
+        wall-clock runtimes enqueue into the destination's inbox (and
+        may put the bytes on a real pipe or socket first)."""
+        self.clock.after(delay, lambda: dst.receive(msg))

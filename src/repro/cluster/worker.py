@@ -41,10 +41,8 @@ from ..olap.schema import Schema
 from .cost import CostModel
 from .faults import CheckpointStore
 from .lifecycle import CUTOVER, INSTALLING, TRANSFERRING
-from .simclock import ServicePool, SimClock
+from .simclock import SimClock
 from .wire import (
-    QUERY_ROW_WIRE_BYTES,
-    REPLICA_ROW_WIRE_BYTES,
     batch_from_wire,
     batch_to_wire,
     key_to_wire,
@@ -238,7 +236,7 @@ class Worker(Entity):
         self.zk = zk
         self.schema = schema
         self.tree_config = tree_config if tree_config is not None else TreeConfig()
-        self.pool = ServicePool(clock, threads)
+        self.pool = clock.make_pool(threads)
         self.cost = cost if cost is not None else CostModel()
         self.store_cls = store_cls
         self.shards: dict[int, ShardStore] = {}
@@ -838,7 +836,6 @@ class Worker(Entity):
                 Message(
                     "query_result_batch",
                     (replies, self.worker_id),
-                    size=QUERY_ROW_WIRE_BYTES * len(replies),
                     sender=self,
                 ),
             )
@@ -1069,7 +1066,6 @@ class Worker(Entity):
             Message(
                 "replica_batch",
                 (shard_id, st["epoch"], seq, rows, t_created, self),
-                size=REPLICA_ROW_WIRE_BYTES * max(1, len(rows)),
                 sender=self,
             ),
         )
@@ -1466,7 +1462,6 @@ class Worker(Entity):
             Message(
                 "primary_handoff",
                 (shard_id, h["rows"], self),
-                size=REPLICA_ROW_WIRE_BYTES * len(h["rows"]),
                 sender=self,
             ),
         )

@@ -66,6 +66,7 @@ __all__ = [
     "VERSION",
     "encode_columns",
     "decode_columns",
+    "measure_columns",
     "encode_batch",
     "decode_batch",
     "is_column_frame",
@@ -193,6 +194,41 @@ def encode_columns(
     pad = b"\0" * (_align8(_PREAMBLE.size + len(header)) - _PREAMBLE.size - len(header))
     out = head + bytes(header) + pad + body
     return out + _CRC.pack(zlib.crc32(out))
+
+
+def measure_columns(columns: list[tuple[str, np.ndarray]]) -> int:
+    """Exact ``len(encode_columns(columns, compress=False))`` without
+    building the frame.
+
+    This is what message-size accounting charges the transport for
+    data-plane payloads: the arithmetic mirrors the encoder's layout
+    (narrowing decision, per-buffer 8-byte alignment, header, crc), so
+    a frame actually put on a pipe or socket weighs exactly this many
+    bytes.
+    """
+    header = 2
+    offset = 0
+    for name, arr in columns:
+        arr = np.asarray(arr)
+        if arr.dtype not in _CODES:
+            raise ValueError(f"unsupported column dtype {arr.dtype}")
+        if arr.ndim not in (1, 2):
+            raise ValueError(f"column {name!r} must be 1-D or 2-D")
+        if _CODES[arr.dtype] == 0 and arr.size:
+            rng = int(arr.max()) - int(arr.min())
+            if rng < 1 << 8:
+                itemsize = 1
+            elif rng < 1 << 16:
+                itemsize = 2
+            elif rng < 1 << 32:
+                itemsize = 4
+            else:
+                itemsize = 8
+        else:
+            itemsize = arr.dtype.itemsize
+        header += 1 + len(name.encode("utf-8")) + _COLHEAD.size
+        offset = _align8(offset + arr.size * itemsize)
+    return _align8(_PREAMBLE.size + header) + offset + _CRC.size
 
 
 def decode_columns(blob: bytes) -> dict[str, np.ndarray]:

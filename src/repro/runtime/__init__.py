@@ -1,0 +1,28 @@
+"""Execution runtimes: one entity code path, three clocks.
+
+The cluster entities (client, server, worker, manager, zookeeper) are
+non-blocking callback state machines that touch the outside world only
+through the clock facade (``now``/``at``/``after``/``every``/
+``make_pool``) and the transport facade (``send``/``send_local``).
+A :class:`Runtime` bundles one implementation of each plus an entity
+registry and the drive loop:
+
+``sim``
+    The discrete-event simulation (virtual time, modeled service
+    times).  Bit-identical to the pre-runtime code path.
+``asyncio``
+    Wall-clock execution of every entity in one process on an asyncio
+    event loop; timers are real (scaled) delays, message hops are queue
+    deliveries (optionally loopback TCP streams carrying column
+    frames).
+``mp``
+    The asyncio runtime plus one OS process per worker; the data plane
+    crosses the process boundary as colframe column buffers -- zero
+    pickling (see :mod:`repro.runtime.frames`).
+
+See docs/runtime.md for the seam diagram and modeling scope.
+"""
+
+from .base import Runtime, make_runtime
+
+__all__ = ["Runtime", "make_runtime"]

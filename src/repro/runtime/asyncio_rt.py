@@ -1,0 +1,467 @@
+"""Wall-clock runtime: every entity on one asyncio event loop.
+
+The entities are unchanged -- they still call ``clock.after`` and
+``transport.send`` -- but here the clock is real (scaled) time and a
+delivery is an enqueue onto the runtime's dispatch queue, consumed by
+a pump task while :meth:`AsyncioRuntime.drive` runs the loop.  Real
+index work happens inline in the handlers (the :class:`ImmediatePool`
+fires completions on the next tick instead of charging modeled service
+time), so throughput measured on this backend is the hardware's, not
+the model's.
+
+``time_scale`` maps model seconds to real seconds: periodic timers
+(heartbeats, zk sync, stats) and retry timeouts defined in model
+seconds run ``time_scale`` times compressed, which is how the chaos
+suite finishes in CI wall-clock budgets.  Latency-model delays ride
+the same scaling.
+
+With ``streams=True`` the worker data plane additionally crosses a
+real loopback TCP connection per worker (``asyncio.start_server`` /
+``open_connection``), carrying the column-frame wire format of
+:mod:`repro.runtime.frames` -- the single-process rehearsal of the mp
+backend's pipe protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import time
+from typing import Callable, Optional
+
+from ..cluster.simclock import Timer
+from ..cluster.transport import Transport
+from . import frames
+from .base import Runtime
+
+__all__ = ["WallClock", "ImmediatePool", "AsyncioRuntime"]
+
+#: default hard real-time cap for one drive() call, seconds
+DRIVE_REAL_LIMIT = 300.0
+
+
+class WallClock:
+    """Model time backed by the monotonic clock, paused between drives.
+
+    Model ``now`` advances only while the runtime is driving (mirroring
+    the sim, where time stands still between ``run_until`` calls), at
+    ``1 / time_scale`` model seconds per real second.  Timers live in a
+    local heap fired by the drive loop -- same ordering semantics
+    (earliest deadline, FIFO among equals, cancellation skipped in
+    place) as :class:`~repro.cluster.simclock.SimClock`.
+    """
+
+    def __init__(self, time_scale: float = 1.0):
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.time_scale = time_scale
+        self._frozen = 0.0
+        self._anchor: Optional[float] = None  # real time when running
+        self._heap: list[tuple[float, int, Timer]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    # -- model time --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        if self._anchor is None:
+            return self._frozen
+        return self._frozen + (time.monotonic() - self._anchor) / self.time_scale
+
+    def start(self) -> None:
+        if self._anchor is None:
+            self._anchor = time.monotonic()
+
+    def stop(self) -> None:
+        if self._anchor is not None:
+            self._frozen = self.now
+            self._anchor = None
+
+    # -- scheduling (the entity-facing facade) -----------------------------
+
+    def at(self, when: float, fn: Callable[[], None]) -> Timer:
+        # unlike the sim, "the past" can happen by a few real
+        # microseconds between computing a deadline and scheduling it;
+        # clamp instead of raising
+        timer = Timer(max(when, self.now), fn)
+        heapq.heappush(self._heap, (timer.when, next(self._seq), timer))
+        return timer
+
+    def after(self, delay: float, fn: Callable[[], None]) -> Timer:
+        if delay < 0:
+            raise ValueError("negative delay")
+        return self.at(self.now + delay, fn)
+
+    def every(
+        self,
+        period: float,
+        fn: Callable[[], None],
+        *,
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> Timer:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        first = start if start is not None else self.now + period
+        handle = Timer(first, None)
+
+        def tick() -> None:
+            if handle.cancelled:
+                return
+            if until is not None and self.now > until:
+                return
+            fn()
+            handle.when = self.now + period
+            self.at(handle.when, tick)
+
+        handle.fn = tick
+        self.at(max(first, self.now), tick)
+        return handle
+
+    def make_pool(self, threads: int) -> "ImmediatePool":
+        return ImmediatePool(self, threads)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # -- drive-loop internals ----------------------------------------------
+
+    def fire_due(self) -> int:
+        """Run every timer whose deadline has passed; returns the count."""
+        fired = 0
+        while self._heap:
+            when, _, timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if when > self.now:
+                break
+            heapq.heappop(self._heap)
+            self._events_processed += 1
+            fired += 1
+            timer.fn()
+        return fired
+
+    def next_deadline(self) -> Optional[float]:
+        while self._heap:
+            when, _, timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return when
+        return None
+
+
+class ImmediatePool:
+    """The wall-clock stand-in for :class:`ServicePool`.
+
+    On a real runtime the index work has already burned real CPU inline
+    in the handler, so ``submit`` fires the completion on the next tick
+    instead of delaying by the modeled service time.  The modeled
+    ``busy_time`` is still accumulated -- it is what utilization gauges
+    and cost-driven balancing read, and keeping it comparable across
+    backends is exactly the sim-vs-real calibration hook.
+    """
+
+    def __init__(self, clock: WallClock, threads: int):
+        if threads < 1:
+            raise ValueError("need at least one thread")
+        self.clock = clock
+        self.threads = threads
+        self.busy_time = 0.0
+        self.jobs = 0
+
+    def submit(self, service_time: float, done: Callable[[], None]) -> float:
+        if service_time < 0:
+            raise ValueError("negative service time")
+        self.busy_time += service_time
+        self.jobs += 1
+        self.clock.after(0.0, done)
+        return self.clock.now
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (horizon * self.threads))
+
+    @property
+    def backlog(self) -> float:
+        return 0.0  # completions never queue behind modeled service time
+
+
+class AsyncioTransport(Transport):
+    """The shared transport with delivery routed through the runtime."""
+
+    def __init__(self, runtime: "AsyncioRuntime", latency, seed: int):
+        super().__init__(runtime.clock, latency, seed)
+        self._rt = runtime
+
+    def deliver(self, dst, msg, delay: float) -> None:
+        self._rt.deliver(dst, msg, delay)
+
+
+class AsyncioRuntime(Runtime):
+    kind = "asyncio"
+
+    def __init__(
+        self,
+        latency=None,
+        seed: int = 0,
+        time_scale: float = 1.0,
+        streams: bool = False,
+    ):
+        super().__init__()
+        self.loop = asyncio.new_event_loop()
+        self.clock = WallClock(time_scale)
+        self.transport = AsyncioTransport(self, latency, seed)
+        self.errors: list[BaseException] = []
+        self._queue: Optional[asyncio.Queue] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._processing = 0  # messages popped but not yet handled
+        self._streams_requested = streams
+        self._stream_server = None
+        self._stream_up: dict[str, asyncio.StreamWriter] = {}
+        self._stream_down: dict[str, asyncio.StreamWriter] = {}
+        self._stream_tasks: list[asyncio.Task] = []
+        self._closed = False
+
+    # -- delivery ----------------------------------------------------------
+
+    def deliver(self, dst, msg, delay: float) -> None:
+        if delay <= 0:
+            self._dispatch(dst, msg)
+        else:
+            self.clock.after(delay, lambda: self._dispatch(dst, msg))
+
+    def _dispatch(self, dst, msg) -> None:
+        if self._stream_up and self._stream_route(dst, msg):
+            return
+        self._inbox().put_nowait((dst, msg))
+
+    def _inbox(self) -> asyncio.Queue:
+        if self._queue is None:
+            self._queue = asyncio.Queue()
+        return self._queue
+
+    async def _pump(self) -> None:
+        q = self._inbox()
+        while True:
+            dst, msg = await q.get()
+            self._processing += 1
+            try:
+                dst.receive(msg)
+            except Exception as exc:  # surface in drive(), don't hang
+                self.errors.append(exc)
+            finally:
+                self._processing -= 1
+
+    def _busy(self) -> bool:
+        """In-flight work that must block an idle break."""
+        q = self._queue
+        return (q is not None and not q.empty()) or self._processing > 0
+
+    def _pending_io(self) -> int:
+        """Outstanding remote work (mp backend); 0 here."""
+        return 0
+
+    # -- drive -------------------------------------------------------------
+
+    def _run(self, coro):
+        asyncio.set_event_loop(self.loop)
+        return self.loop.run_until_complete(coro)
+
+    def drive(
+        self,
+        pred: Callable[[], bool],
+        *,
+        horizon: Optional[float] = None,
+        guard: int = 50_000_000,
+        desc: str = "drive",
+        idle_break: bool = True,
+        stop_at: Optional[float] = None,
+        real_limit: float = DRIVE_REAL_LIMIT,
+    ) -> None:
+        self._run(
+            self._drive(pred, horizon, desc, idle_break, stop_at, real_limit)
+        )
+
+    async def _drive(
+        self,
+        pred: Callable[[], bool],
+        horizon: Optional[float],
+        desc: str,
+        idle_break: bool,
+        stop_at: Optional[float],
+        real_limit: float,
+    ) -> None:
+        # the pump lives only while a drive runs (the queue persists
+        # across drives), so an idle runtime holds no pending task and
+        # interpreter teardown stays silent even without close()
+        self._pump_task = self.loop.create_task(self._pump())
+        if self._streams_requested and self._stream_server is None:
+            await self._start_streams()
+        await self._start_backend_io()
+        deadline_real = time.monotonic() + real_limit
+        self.clock.start()
+        try:
+            while True:
+                self.clock.fire_due()
+                if self.errors:
+                    err = self.errors[:]
+                    self.errors.clear()
+                    raise RuntimeError(
+                        f"{desc}: entity handler failed on the "
+                        f"{self.kind} runtime"
+                    ) from err[0]
+                if pred():
+                    return
+                now = self.clock.now
+                if horizon is not None and now > horizon:
+                    raise RuntimeError(f"{desc} did not finish before horizon")
+                if stop_at is not None and now >= stop_at:
+                    return
+                if time.monotonic() > deadline_real:
+                    raise RuntimeError(
+                        f"{desc}: exceeded {real_limit:.0f}s real-time limit "
+                        f"on the {self.kind} runtime"
+                    )
+                if self._busy():
+                    await asyncio.sleep(0)  # let the pump chew
+                    continue
+                nd = self.clock.next_deadline()
+                if nd is None and self._pending_io() == 0:
+                    if idle_break:
+                        return  # the wall-clock analog of "heap empty"
+                    await asyncio.sleep(0.001 if stop_at is None else min(
+                        0.05, max(0.0, (stop_at - now) * self.clock.time_scale)
+                    ))
+                    continue
+                wait_model = (nd - now) if nd is not None else 0.01
+                if stop_at is not None:
+                    wait_model = min(wait_model, stop_at - now)
+                await asyncio.sleep(
+                    min(max(wait_model, 0.0) * self.clock.time_scale, 0.05)
+                )
+        finally:
+            self.clock.stop()
+            task, self._pump_task = self._pump_task, None
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+
+    def run_until(self, t: float) -> None:
+        if t <= self.clock.now:
+            return
+        self.drive(
+            lambda: False, idle_break=False, stop_at=t, desc=f"run_until({t})"
+        )
+
+    # -- backend hooks -----------------------------------------------------
+
+    async def _start_backend_io(self) -> None:
+        """mp overrides this to wire child pipes into the loop."""
+
+    # -- loopback TCP streams (asyncio.start_server idiom) -----------------
+
+    def _stream_route(self, dst, msg) -> bool:
+        """Ship a data-plane hop over the worker's TCP connection.
+
+        Parent->worker requests go up the worker's client-side writer;
+        worker-originated replies go down the server-side writer.  Both
+        directions carry column frames; the remote reader decodes and
+        enqueues for the named destination.  Non-codable kinds (control
+        plane, client hops) stay on the queue path.
+        """
+        if msg.kind not in frames.DATA_KINDS:
+            return False
+        dst_name = getattr(dst, "name", "")
+        sender_name = getattr(msg.sender, "name", "") if msg.sender else ""
+        if msg.kind in frames.REQUEST_KINDS and dst_name in self._stream_up:
+            writer = self._stream_up[dst_name]
+        elif msg.kind in frames.REPLY_KINDS and sender_name in self._stream_down:
+            writer = self._stream_down[sender_name]
+        else:
+            return False
+        blob = frames.encode(msg.kind, msg.payload, route=dst_name)
+        writer.write(len(blob).to_bytes(4, "little") + blob)
+        return True
+
+    async def _start_streams(self) -> None:
+        from ..cluster.worker import Worker
+
+        async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+            # hello line names the worker this connection serves
+            name = (await reader.readline()).decode("utf-8").strip()
+            self._stream_down[name] = writer
+            self._stream_tasks.append(
+                self.loop.create_task(self._stream_reader(reader, name))
+            )
+
+        self._stream_server = await asyncio.start_server(
+            handle, host="127.0.0.1", port=0
+        )
+        port = self._stream_server.sockets[0].getsockname()[1]
+        for name, entity in list(self.entities.items()):
+            if not isinstance(entity, Worker):
+                continue
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(f"{name}\n".encode("utf-8"))
+            self._stream_up[name] = writer
+            self._stream_tasks.append(
+                self.loop.create_task(self._stream_reader(reader, name))
+            )
+        # wait until every server-side handler has introduced itself
+        while len(self._stream_down) < len(self._stream_up):
+            await asyncio.sleep(0.001)
+
+    async def _stream_reader(self, reader: asyncio.StreamReader, name: str) -> None:
+        try:
+            while True:
+                head = await reader.readexactly(4)
+                blob = await reader.readexactly(int.from_bytes(head, "little"))
+                kind, payload, route = frames.decode(blob, self.lookup)
+                from ..cluster.transport import Message
+
+                dst = self.lookup(route) if route else self.lookup(name)
+                self._inbox().put_nowait((dst, Message(kind, payload, size=len(blob))))
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return  # connection closed on shutdown
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._pump_task is not None:
+                self._pump_task.cancel()
+            for t in self._stream_tasks:
+                t.cancel()
+            for w in list(self._stream_up.values()) + list(self._stream_down.values()):
+                w.close()
+            if self._stream_server is not None:
+                self._stream_server.close()
+            if not self.loop.is_closed():
+                pending = [
+                    t for t in asyncio.all_tasks(self.loop) if not t.done()
+                ]
+                if pending:
+                    for t in pending:
+                        t.cancel()
+                    self.loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                self.loop.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass

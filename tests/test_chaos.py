@@ -26,6 +26,10 @@ from repro.workloads.streams import Operation
 
 from .conftest import make_schema, random_batch
 
+#: deterministic-replay and model-timer assertions; see conftest
+pytestmark = pytest.mark.sim_only
+
+
 INSERT_KINDS = {"client_insert", "insert", "insert_ack", "insert_done"}
 
 #: tight timers so chaos runs converge in little virtual time

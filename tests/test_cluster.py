@@ -140,6 +140,7 @@ class TestMixedWorkload:
         assert all(r.shards_searched >= 0 for r in recs)
 
 
+@pytest.mark.sim_only
 class TestSplits:
     def test_oversized_shards_get_split(self, schema):
         cluster, gen, batch = small_cluster(
@@ -186,6 +187,7 @@ class TestSplits:
         assert rec.result_count == len(batch) + 500
 
 
+@pytest.mark.sim_only
 class TestMigrations:
     def test_new_workers_receive_data(self, schema):
         """Elastic scale-up (paper Fig. 6): empty workers fill up."""

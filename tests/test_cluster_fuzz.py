@@ -17,6 +17,10 @@ from repro.olap.query import full_query
 from repro.workloads import QueryGenerator, TPCDSGenerator, tpcds_schema
 from repro.workloads.streams import Operation
 
+#: deterministic-replay and model-timer assertions; see conftest
+pytestmark = pytest.mark.sim_only
+
+
 SCHEMA = tpcds_schema()
 
 

@@ -86,6 +86,7 @@ def test_sequential_session_sees_exact_prefix(schema):
         assert got == want
 
 
+@pytest.mark.sim_only  # per-query oracle: no deadline may ever degrade
 def test_exactness_survives_concurrent_rebalancing(schema):
     """The same exactness holds while the manager splits and migrates."""
     cluster, gen, base = build_cluster(

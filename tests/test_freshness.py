@@ -98,6 +98,7 @@ class TestPBSSimulator:
         assert res2.time_to_fresh() == float("inf")
 
 
+@pytest.mark.sim_only
 class TestPBSAgainstMeasuredStaleness:
     """Validate the PBS model against replica staleness the cluster
     actually measured (PR 6 satellite): feed the per-row tee-to-apply

@@ -19,6 +19,7 @@ from repro.cluster import (
     ShardOpMachine,
     VOLAPCluster,
 )
+
 from repro.cluster.lifecycle import (
     ABORTED,
     CUTOVER,
@@ -35,6 +36,9 @@ from repro.workloads.streams import Operation
 
 from .conftest import make_schema, random_batch
 from .test_chaos import CHAOS_RETRY
+
+#: deterministic-replay and model-timer assertions; see conftest
+pytestmark = pytest.mark.sim_only
 
 
 class _Transport:

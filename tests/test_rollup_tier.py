@@ -28,6 +28,10 @@ from repro.workloads.streams import Operation
 
 from .conftest import make_schema, random_batch
 
+#: deterministic-replay and model-timer assertions; see conftest
+pytestmark = pytest.mark.sim_only
+
+
 SCHEMA_SPEC = [[8, 12], [4, 16]]  # small: cubes stay admissible
 
 

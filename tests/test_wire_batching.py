@@ -149,6 +149,7 @@ BATCH_KINDS = {
 }
 
 
+@pytest.mark.sim_only
 class TestBatchingUnderFaults:
     def _chaos_retry(self):
         return RetryPolicy(
