@@ -11,7 +11,14 @@ crossed with low/medium/high coverage queries.  Asserted shapes:
   keep large aggregations from scanning the database.
 """
 
+import numpy as np
+
 from repro.bench import render_table, run_fig8
+from repro.workloads import (
+    QueryGenerator,
+    SensorStreamGenerator,
+    StreamGenerator,
+)
 
 from conftest import run_once
 
@@ -70,3 +77,34 @@ def test_fig8_workload_mix(benchmark):
         # low-coverage queries touch fewer shards at this scaled-down
         # shard count, so they may only be *faster*, never slower
         assert by[(mix, "low")].query_latency < 1.5 * med
+
+
+def test_sensor_workload_drives_mixed_streams():
+    """Registration check for the high-velocity sensor workload: the
+    generator slots into :class:`StreamGenerator` exactly like the
+    TPC-DS one, so Fig-8-style mixed streams (and the spill bench) can
+    run on an append-heavy, time-skewed feed."""
+    gen = SensorStreamGenerator(seed=7)
+    reference = gen.batch(3000)
+    qgen = QueryGenerator(gen.schema, reference, seed=7)
+    bins = qgen.generate_bins(per_bin=4)
+    stream = StreamGenerator(gen, bins, insert_fraction=0.75, seed=7)
+    ops = list(stream.operations(400))
+    inserts = [op for op in ops if op.is_insert]
+    queries = [op for op in ops if not op.is_insert]
+    assert len(ops) == 400 and inserts and queries
+    # append-heavy: the stream skews to inserts as configured
+    assert 0.6 < len(inserts) / len(ops) < 0.9
+    # time-skewed: insert timestamps never run backwards
+    tdim = next(
+        i for i, d in enumerate(gen.schema.dimensions) if d.name == "time"
+    )
+    times = [int(op.coords[tdim]) for op in inserts]
+    assert times == sorted(times), "sensor stream must append in time order"
+    # fixed-point measures: exact dyadic readings (bit-identical sums)
+    assert all(
+        float(op.measure * 256) == round(op.measure * 256) for op in inserts
+    )
+    # queries come from measured-coverage bins over the sensor data
+    assert all(op.query.coverage >= 0.0 for op in queries)
+    assert np.all(reference.coords[:, tdim] >= 0)

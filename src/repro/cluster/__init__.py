@@ -7,6 +7,8 @@ from .balancer import (
     MemoryPressurePolicy,
     MigrateAction,
     PlanAction,
+    RehydrateAction,
+    SpillAction,
     SplitAction,
     ThresholdPolicy,
     WorkerView,
@@ -28,6 +30,7 @@ from .manager import Manager
 from .server import Server
 from .simclock import ServicePool, SimClock
 from .stats import ClusterStats, OpRecord
+from .storage import HOT, WARM, ColdEntry, ShardStorage
 from .transport import Entity, LatencyModel, Message, Transport
 from .wire import key_from_wire, key_to_wire
 from .worker import ShardTransfer, Worker
@@ -43,10 +46,16 @@ __all__ = [
     "MemoryPressurePolicy",
     "MigrateAction",
     "PlanAction",
+    "RehydrateAction",
+    "SpillAction",
     "ShardOp",
     "ShardOpMachine",
+    "ShardStorage",
     "ShardTransfer",
     "SplitAction",
+    "ColdEntry",
+    "HOT",
+    "WARM",
     "ThresholdPolicy",
     "WorkerView",
     "ClientSession",

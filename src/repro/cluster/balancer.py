@@ -33,13 +33,15 @@ Three policies ship:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Union
+from typing import ClassVar, Optional, Union
 
 from .cost import CostModel
 
 __all__ = [
     "SplitAction",
     "MigrateAction",
+    "SpillAction",
+    "RehydrateAction",
     "PlanAction",
     "WorkerView",
     "BalancerPolicy",
@@ -68,7 +70,30 @@ class MigrateAction:
     kind: ClassVar[str] = "migrate"
 
 
-PlanAction = Union[SplitAction, MigrateAction]
+@dataclass(frozen=True)
+class SpillAction:
+    """Spill ``shard_id`` on ``worker_id`` from HOT to WARM (release
+    its columns; the blob on disk keeps serving through the cold
+    index).  Draws from the lifecycle's residency pool, not the
+    split/migrate budget -- memory-pressure relief is cheaper than a
+    migration and must never be starved by one."""
+
+    worker_id: int
+    shard_id: int
+    kind: ClassVar[str] = "spill"
+
+
+@dataclass(frozen=True)
+class RehydrateAction:
+    """Pull WARM ``shard_id`` on ``worker_id`` back HOT ahead of demand
+    (the worker has durable headroom below the low watermark)."""
+
+    worker_id: int
+    shard_id: int
+    kind: ClassVar[str] = "rehydrate"
+
+
+PlanAction = Union[SplitAction, MigrateAction, SpillAction, RehydrateAction]
 
 
 @dataclass(frozen=True)
@@ -89,6 +114,16 @@ class WorkerView:
     busy: frozenset = frozenset()
     #: remaining split+migration admission slots this scan
     budget: int = 1
+    #: worker id -> measured hot resident bytes (heartbeat-fresh when
+    #: available, stats-fresh otherwise); empty for pre-residency
+    #: payloads, and item-count planning still works then (back-compat)
+    resident_bytes: dict = field(default_factory=dict)
+    #: worker id -> {hot shard id -> resident bytes}
+    shard_bytes: dict = field(default_factory=dict)
+    #: worker id -> {WARM shard id -> (items, pre-spill resident bytes)}
+    warm: dict = field(default_factory=dict)
+    #: worker id -> {hot shard id -> seconds since last access}
+    idle: dict = field(default_factory=dict)
 
     @classmethod
     def from_stats(cls, state: dict, busy, budget: int) -> "WorkerView":
@@ -98,7 +133,32 @@ class WorkerView:
             shards={wid: dict(d.get("shards", {})) for wid, d in state.items()},
             busy=frozenset(busy),
             budget=budget,
+            resident_bytes={
+                wid: d["resident_bytes"]
+                for wid, d in state.items()
+                if "resident_bytes" in d
+            },
+            shard_bytes={
+                wid: dict(d.get("shard_bytes", {})) for wid, d in state.items()
+            },
+            warm={
+                wid: {sid: tuple(v) for sid, v in d.get("warm", {}).items()}
+                for wid, d in state.items()
+            },
+            idle={wid: dict(d.get("idle", {})) for wid, d in state.items()},
         )
+
+    def hot_shards(self, worker_id: int) -> dict:
+        """The worker's shard sizes minus WARM shards: split and
+        migrate candidates must be HOT (a WARM shard is not frozen, so
+        a transfer would find it absent and fail -- harmless but a
+        wasted scan)."""
+        warm = self.warm.get(worker_id, {})
+        return {
+            sid: size
+            for sid, size in self.shards.get(worker_id, {}).items()
+            if sid not in warm
+        }
 
 
 @dataclass(frozen=True)
@@ -138,9 +198,9 @@ class BalancerPolicy:
     # -- shared building blocks -------------------------------------------
 
     def _plan_oversize_splits(self, view, actions, busy, budget) -> int:
-        """Split every non-busy shard above ``max_shard_items``."""
-        for wid, shard_sizes in view.shards.items():
-            for sid, size in shard_sizes.items():
+        """Split every non-busy HOT shard above ``max_shard_items``."""
+        for wid in view.shards:
+            for sid, size in view.hot_shards(wid).items():
                 if size > self.max_shard_items and sid not in busy and budget > 0:
                     actions.append(SplitAction(wid, sid))
                     busy.add(sid)
@@ -171,7 +231,7 @@ class BalancerPolicy:
         # migrations, planned against projected sizes so several moves
         # per scan converge instead of overshooting
         sizes = dict(view.sizes)
-        shards = {wid: dict(s) for wid, s in view.shards.items()}
+        shards = {wid: view.hot_shards(wid) for wid in view.shards}
         while budget > 0:
             src = max(sizes, key=sizes.get)
             dst = min(sizes, key=sizes.get)
@@ -228,8 +288,17 @@ class MemoryPressurePolicy(BalancerPolicy):
     high_watermark: float = 0.85
     #: shed until the worker projects below this fraction
     low_watermark: float = 0.60
+    #: per-worker hot-memory budget in *bytes*.  When set (and workers
+    #: report measured ``resident_bytes``), the policy plans on real
+    #: memory instead of item counts and prefers **spill before
+    #: migrate**: releasing a cold shard's columns relieves pressure
+    #: without moving a byte across the wire.  ``None`` keeps the
+    #: classic item-count behaviour bit-for-bit.
+    worker_budget_bytes: Optional[int] = None
 
     def plan(self, view: WorkerView) -> list:
+        if self.worker_budget_bytes is not None and view.resident_bytes:
+            return self._plan_bytes(view)
         actions: list = []
         budget = view.budget
         if budget <= 0 or not view.sizes:
@@ -240,7 +309,7 @@ class MemoryPressurePolicy(BalancerPolicy):
             return actions
         cap = self.worker_capacity_items
         sizes = dict(view.sizes)
-        shards = {wid: dict(s) for wid, s in view.shards.items()}
+        shards = {wid: view.hot_shards(wid) for wid in view.shards}
         while budget > 0:
             src = max(sizes, key=sizes.get)
             if sizes[src] <= self.high_watermark * cap:
@@ -270,6 +339,80 @@ class MemoryPressurePolicy(BalancerPolicy):
             sizes[dst] += size
             del shards[src][sid]
             shards[dst][sid] = size
+        return actions
+
+    def _plan_bytes(self, view: WorkerView) -> list:
+        """Byte-mode plan: measured resident bytes against the worker
+        budget, spill before migrate.
+
+        Per over-watermark worker, the coldest HOT shards (most idle,
+        then largest) are spilled until the projection drops below the
+        low watermark; only when nothing spillable remains does the
+        policy fall back to migrating a shard away.  WARM shards are
+        rehydrated ahead of demand only on workers projecting below
+        the low watermark *after* the rehydrate -- the hysteresis band
+        between the watermarks keeps a borderline shard from
+        ping-ponging between tiers."""
+        actions: list = []
+        busy = set(view.busy)
+        budget = self._plan_oversize_splits(view, actions, busy, view.budget)
+        cap = self.worker_budget_bytes
+        used = dict(view.resident_bytes)
+        for wid in list(used):
+            if used[wid] <= self.high_watermark * cap:
+                continue
+            idle = view.idle.get(wid, {})
+            candidates = sorted(
+                (
+                    (idle.get(sid, 0.0), sbytes, sid)
+                    for sid, sbytes in view.shard_bytes.get(wid, {}).items()
+                    if sid not in busy
+                ),
+                reverse=True,
+            )
+            for _idle_t, sbytes, sid in candidates:
+                if used[wid] <= self.low_watermark * cap:
+                    break
+                # spills draw from the lifecycle's residency pool, not
+                # the split/migrate budget
+                actions.append(SpillAction(wid, sid))
+                busy.add(sid)
+                used[wid] -= sbytes
+            if (
+                used[wid] > self.high_watermark * cap
+                and budget > 0
+                and len(used) > 1
+            ):
+                # spill exhausted but still over the watermark: shed a
+                # shard to the emptiest worker (migrate after spill)
+                dst = min(
+                    (w for w in used if w != wid), key=lambda w: used[w]
+                )
+                movable = [
+                    (sbytes, sid)
+                    for sid, sbytes in view.shard_bytes.get(wid, {}).items()
+                    if sid not in busy
+                    and view.shards.get(wid, {}).get(sid, 0)
+                    >= self.min_migrate_items
+                ]
+                if movable and used[dst] < self.high_watermark * cap:
+                    sbytes, sid = max(movable)
+                    actions.append(MigrateAction(wid, dst, sid))
+                    busy.add(sid)
+                    budget -= 1
+                    used[wid] -= sbytes
+                    used[dst] += sbytes
+        for wid, warm in view.warm.items():
+            u = used.get(wid, 0)
+            for sid in sorted(warm):
+                if sid in busy:
+                    continue
+                _items, wbytes = warm[sid]
+                if u + wbytes <= self.low_watermark * cap:
+                    actions.append(RehydrateAction(wid, sid))
+                    busy.add(sid)
+                    u += wbytes
+            used[wid] = u
         return actions
 
 
@@ -303,7 +446,7 @@ class CostDrivenPolicy(BalancerPolicy):
         if budget <= 0 or len(view.sizes) < 2:
             return actions
         sizes = dict(view.sizes)
-        shards = {wid: dict(s) for wid, s in view.shards.items()}
+        shards = {wid: view.hot_shards(wid) for wid in view.shards}
         remaining = self.migration_budget
         while budget > 0 and remaining > 0:
             src = max(sizes, key=sizes.get)

@@ -103,6 +103,12 @@ class ClusterConfig:
     heartbeat_miss_k: int = 4
     #: periodic shard checkpointing for failover restores; 0 disables
     checkpoint_period: float = 5.0
+    #: per-worker hot-tier budget (bytes of resident shard columns);
+    #: over budget, workers autonomously spill least-recently-touched
+    #: shards to WARM (blob only), rehydrating lazily on access.
+    #: ``None`` (the default) disables the residency tier entirely --
+    #: every shard stays HOT and the classic paths are untouched
+    hot_budget_bytes: Optional[int] = None
     #: asynchronous replicas per shard, fed by the live insert stream;
     #: 0 disables replication entirely (the classic single-copy paths
     #: stay byte-identical)
@@ -302,6 +308,33 @@ class VOLAPCluster:
                 r.gauge("volap_rollup_staleness_seconds", server=sid).set(
                     router.max_lag(now)
                 )
+        residency_active = self.config.hot_budget_bytes is not None or any(
+            hasattr(w, "storage") and (w.storage.cold or w.storage.spills)
+            for w in self.workers.values()
+        )
+        if residency_active:
+            # residency gauges exist only when the tier is in play, so
+            # budget-less runs keep their classic metric families
+            for wid, w in self.workers.items():
+                if not hasattr(w, "storage"):
+                    continue  # mp proxy workers have no local storage
+                st = w.storage
+                r.gauge("volap_residency_spills_total", worker=wid).set(
+                    st.spills
+                )
+                r.gauge("volap_residency_rehydrates_total", worker=wid).set(
+                    st.rehydrates
+                )
+                r.gauge("volap_residency_warm_shards", worker=wid).set(
+                    len(st.cold)
+                )
+                r.gauge("volap_residency_resident_bytes", worker=wid).set(
+                    w.resident_bytes()
+                )
+                if w.hot_budget_bytes is not None:
+                    r.gauge(
+                        "volap_residency_hot_budget_bytes", worker=wid
+                    ).set(w.hot_budget_bytes)
         r.gauge("volap_transport_messages_sent").set(
             self.transport.messages_sent
         )
@@ -359,6 +392,7 @@ class VOLAPCluster:
         # the shared directory lets a demoted primary address its
         # handoff to whichever worker took over (includes late joiners)
         w.peers = self.workers
+        w.hot_budget_bytes = self.config.hot_budget_bytes
         w.publish_stats()
         if self.config.heartbeat_period > 0:
             w.start_heartbeat(

@@ -120,6 +120,18 @@ class CostModel:
         not a deserialization."""
         return self.insert_base
 
+    def spill_time(self, items: int) -> float:
+        """Spilling a HOT shard WARM: encode the colframe blob and
+        release the columns.  Serialize-shaped -- spill *is* a
+        checkpoint write, there is no second format."""
+        return self.serialize_time(items)
+
+    def rehydrate_time(self, items: int) -> float:
+        """Pulling a WARM shard back HOT: decode the spilled blob and
+        rebuild the tree.  Deserialize-shaped; charged to the op that
+        touched the shard when rehydration is lazy (read/insert path)."""
+        return self.deserialize_time(items)
+
     # -- server -----------------------------------------------------------
 
     def route_time(self, image_nodes: int) -> float:

@@ -47,6 +47,13 @@ class ShardInfo:
     key: BoundingKey
     worker_id: int
     size: int = 0
+    #: residency tier at the owning worker: ``"hot"`` (columns in
+    #: memory) or ``"warm"`` (spilled; only the blob + this bounding key
+    #: remain).  Routing treats both identically -- a WARM shard is
+    #: still searchable through its bounding key and rehydrates on
+    #: first touch -- the field exists so operators and policies can
+    #: see the tier.
+    residency: str = "hot"
 
     @property
     def box(self) -> Box:
@@ -65,11 +72,19 @@ class ShardInfo:
 
     def to_wire(self) -> tuple:
         """Serialisable snapshot for the Zookeeper system image."""
-        return (self.shard_id, key_to_wire(self.key), self.worker_id, self.size)
+        return (
+            self.shard_id,
+            key_to_wire(self.key),
+            self.worker_id,
+            self.size,
+            self.residency,
+        )
 
     @staticmethod
     def from_wire(t: tuple) -> "ShardInfo":
-        return ShardInfo(t[0], key_from_wire(t[1]), t[2], t[3])
+        # tolerate pre-residency 4-tuples (rolling upgrade / old tests)
+        residency = t[4] if len(t) > 4 else "hot"
+        return ShardInfo(t[0], key_from_wire(t[1]), t[2], t[3], residency)
 
 
 class _ImageNode:
@@ -166,6 +181,9 @@ class LocalImage:
 
     def update_size(self, shard_id: int, size: int) -> None:
         self._leaves[shard_id].shard.size = size
+
+    def update_residency(self, shard_id: int, residency: str) -> None:
+        self._leaves[shard_id].shard.residency = residency
 
     def expand_shard(self, shard_id: int, key: BoundingKey) -> bool:
         """Bottom-up expansion from the leaf pointer table (sync path)."""

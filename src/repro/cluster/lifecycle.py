@@ -91,6 +91,11 @@ _BUDGET = {
     "restore": "restore",
     "replicate": "replica",
     "promote": "restore",
+    # residency ops (spill / rehydrate) get their own pool: memory
+    # pressure relief must never be starved by -- or starve -- balance
+    # migrations or failover restores
+    "spill": "residency",
+    "rehydrate": "residency",
 }
 
 
@@ -145,16 +150,20 @@ class ShardOpMachine:
         self.max_inflight = 4
         self.max_inflight_restores = 8
         self.max_inflight_replications = 8
+        self.max_inflight_residency = 8
         #: give-up timer duration (virtual seconds)
         self.op_timeout = 10.0
         #: called with the op after a timeout is recorded, for protocol
         #: side effects (abort message, restore re-issue)
         self.on_timeout: Optional[Callable[[ShardOp], None]] = None
         self._epoch = 0
-        self._inflight = {"balance": 0, "restore": 0, "replica": 0}
+        self._inflight = {
+            "balance": 0, "restore": 0, "replica": 0, "residency": 0,
+        }
         self.started = {
             "split": 0, "migrate": 0, "restore": 0,
             "replicate": 0, "promote": 0,
+            "spill": 0, "rehydrate": 0,
         }
         self.timed_out = 0
         #: every op ever admitted, in admission order (terminal ops
@@ -185,6 +194,11 @@ class ShardOpMachine:
     def replica_inflight(self) -> int:
         return self._inflight["replica"]
 
+    @property
+    def residency_inflight(self) -> int:
+        """Spills + rehydrates currently in flight."""
+        return self._inflight["residency"]
+
     def quiescent(self) -> bool:
         return not self.ops
 
@@ -211,6 +225,7 @@ class ShardOpMachine:
             "balance": self.max_inflight,
             "restore": self.max_inflight_restores,
             "replica": self.max_inflight_replications,
+            "residency": self.max_inflight_residency,
         }[pool]
         if self._inflight[pool] >= limit:
             return None

@@ -22,7 +22,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .balancer import BalancerPolicy, MigrateAction, WorkerView
+from .balancer import (
+    BalancerPolicy,
+    MigrateAction,
+    RehydrateAction,
+    SpillAction,
+    WorkerView,
+)
 from .faults import CheckpointStore
 from .lifecycle import ShardOp, ShardOpMachine
 from .simclock import SimClock
@@ -101,6 +107,10 @@ class Manager(Entity):
         self.migrations_started = 0
         self.failovers_handled = 0
         self.restores_done = 0
+        self.spills_started = 0
+        self.spills_done = 0
+        self.rehydrates_started = 0
+        self.rehydrates_done = 0
         self.enabled = True
         clock.every(self.policy.scan_period, self.scan)
 
@@ -123,8 +133,16 @@ class Manager(Entity):
         state = {}
         for wid in self.workers:
             data = self.zk.get(f"/stats/workers/{wid}")
-            if data is not None:
-                state[wid] = data
+            if data is None:
+                continue
+            # overlay heartbeat-fresh resident bytes (beats run faster
+            # than stats ticks); copy first -- the zk stand-in returns
+            # the stored dict by reference
+            beat = self.zk.get(f"/heartbeats/{wid}")
+            if isinstance(beat, tuple) and len(beat) > 1:
+                data = dict(data)
+                data["resident_bytes"] = beat[1]
+            state[wid] = data
         return state
 
     def scan(self) -> None:
@@ -154,6 +172,10 @@ class Manager(Entity):
         for action in self.policy.plan(view):
             if isinstance(action, MigrateAction):
                 self._start_migration(action.src, action.dst, action.shard_id)
+            elif isinstance(action, SpillAction):
+                self._start_spill(action.worker_id, action.shard_id)
+            elif isinstance(action, RehydrateAction):
+                self._start_rehydrate(action.worker_id, action.shard_id)
             else:
                 self._start_split(action.worker_id, action.shard_id)
 
@@ -500,6 +522,40 @@ class Manager(Entity):
         )
         self.lifecycle.dispatched(shard_id)
 
+    def _start_spill(self, worker_id: int, shard_id: int) -> None:
+        """Policy-driven spill (draws from the residency pool, so
+        memory relief is never queued behind migrations)."""
+        op = self.lifecycle.admit("spill", shard_id, src=worker_id)
+        if op is None:
+            return
+        self.spills_started += 1
+        self.transport.send(
+            self.workers[worker_id],
+            Message(
+                "spill_shard",
+                (shard_id, self),
+                sender=self,
+                ctx=op.span.ctx if op.span is not None else None,
+            ),
+        )
+        self.lifecycle.dispatched(shard_id)
+
+    def _start_rehydrate(self, worker_id: int, shard_id: int) -> None:
+        op = self.lifecycle.admit("rehydrate", shard_id, src=worker_id)
+        if op is None:
+            return
+        self.rehydrates_started += 1
+        self.transport.send(
+            self.workers[worker_id],
+            Message(
+                "rehydrate_shard",
+                (shard_id, self),
+                sender=self,
+                ctx=op.span.ctx if op.span is not None else None,
+            ),
+        )
+        self.lifecycle.dispatched(shard_id)
+
     # -- acknowledgements -----------------------------------------------------
 
     def receive(self, msg: Message) -> None:
@@ -546,6 +602,20 @@ class Manager(Entity):
             if self.lifecycle.complete(shard_id, "promote", ok=False):
                 if shard_id in self._pending_restores:
                     self._heal_shard(shard_id)
+        elif msg.kind == "spill_done":
+            shard_id, _wid = msg.payload
+            if self.lifecycle.complete(shard_id, "spill", ok=True):
+                self.spills_done += 1
+        elif msg.kind == "spill_failed":
+            shard_id, _wid = msg.payload
+            self.lifecycle.complete(shard_id, "spill", ok=False)
+        elif msg.kind == "rehydrate_done":
+            shard_id, _wid, _size = msg.payload
+            if self.lifecycle.complete(shard_id, "rehydrate", ok=True):
+                self.rehydrates_done += 1
+        elif msg.kind == "rehydrate_failed":
+            shard_id, _wid = msg.payload
+            self.lifecycle.complete(shard_id, "rehydrate", ok=False)
         elif msg.kind == "restore_done":
             shard_id, wid, _size = msg.payload
             self.lifecycle.complete(shard_id, "restore", ok=True)

@@ -145,6 +145,7 @@ class Server(Entity):
             if info.shard_id in self.image:
                 self.image.update_worker(info.shard_id, info.worker_id)
                 self.image.expand_shard(info.shard_id, info.key)
+                self.image.update_residency(info.shard_id, info.residency)
             else:
                 self.image.add_shard(info)
 
@@ -784,5 +785,6 @@ class Server(Entity):
             self.image.update_worker(sid, info.worker_id)
             self.image.update_size(sid, info.size)
             self.image.expand_shard(sid, info.key)
+            self.image.update_residency(sid, info.residency)
         else:
             self.image.add_shard(info)

@@ -1,0 +1,197 @@
+"""Unified shard blob storage and the HOT/WARM residency tier.
+
+Every path that turns a shard into bytes -- periodic checkpoints,
+failover restore, migration transfer, replica seeding, and the residency
+spill added here -- goes through one :class:`ShardStorage` per worker.
+All five speak the same colframe blob (:func:`repro.cluster.wire.shard_to_wire`),
+so a blob written by any path can be read by every other: a spill *is* a
+checkpoint write, and a failover restore of a WARM shard is just a
+decode of the blob the spill left behind.
+
+Residency state machine (one shard, one owning worker)::
+
+              spill (policy / budget)
+        HOT ──────────────────────────▶ WARM
+         ▲                               │
+         └───────────────────────────────┘
+              rehydrate (lazy on read/insert, or policy)
+
+``HOT``  -- the live tree is in ``worker.shards``; full column arrays
+resident.  ``WARM`` -- the tree has been released; only a
+:class:`ColdEntry` (layer-map-style index record: bounding key, item
+count, blob) remains, so routing and directory pruning keep working
+and a query whose box misses the bounding key never touches the blob.
+There is no third state: a rehydrate re-installs the decoded tree and
+deletes the cold entry atomically (sim handlers are atomic), and a
+crash drops both tiers -- WARM shards then restore from the checkpoint
+blob the spill already wrote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..olap.keys import Box
+from .wire import BoundingKey, shard_from_wire, shard_to_wire
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.base import ShardStore
+
+__all__ = ["HOT", "WARM", "ColdEntry", "ShardStorage"]
+
+#: residency tier names as published in the system image
+HOT = "hot"
+WARM = "warm"
+
+
+@dataclass
+class ColdEntry:
+    """Layer-map index record for one spilled (WARM) shard.
+
+    Keeps exactly what routing and planning need without the columns:
+    the bounding key frozen at spill time (keys only grow on insert,
+    and an insert rehydrates first, so the frozen key stays exact), the
+    item count for stats/balancing, the pre-spill ``resident_bytes()``
+    so policies can project how much memory a rehydrate will re-admit,
+    and the encoded blob standing in for the on-disk frame.
+    """
+
+    shard_id: int
+    key: BoundingKey
+    items: int
+    blob: bytes
+    resident_estimate: int
+    spilled_at: float
+
+    @property
+    def blob_bytes(self) -> int:
+        return len(self.blob)
+
+    @property
+    def box(self) -> Box:
+        """Single-box view of the bounding key (MBR of an MDS key)."""
+        if isinstance(self.key, Box):
+            return self.key
+        return self.key.mbr()
+
+    def intersects(self, box: Box) -> bool:
+        """Directory pruning for WARM shards: does ``box`` touch this
+        shard's data at all?  A miss means the shard contributes the
+        empty aggregate and the blob is never read."""
+        return self.box.intersects(box)
+
+
+class ShardStorage:
+    """One worker's blob codec plus its cold (WARM) shard index.
+
+    The codec half (:meth:`encode` / :meth:`decode`) is the single
+    funnel for all shard blobs -- checkpoint, restore, migrate,
+    replica seed, spill, rehydrate.  The tier half (:meth:`spill` /
+    :meth:`rehydrate`) moves shards between ``worker.shards`` (HOT)
+    and :attr:`cold` (WARM), keeping the published system image in
+    sync so servers keep routing to spilled shards.
+    """
+
+    def __init__(self, worker) -> None:
+        self.worker = worker
+        #: shard id -> :class:`ColdEntry` for every WARM shard
+        self.cold: dict[int, ColdEntry] = {}
+        # residency counters (exported as volap_residency_* gauges)
+        self.spills = 0
+        self.rehydrates = 0
+        self.spilled_bytes = 0
+        self.rehydrated_bytes = 0
+        # codec counters: every blob any path produced/consumed
+        self.blobs_encoded = 0
+        self.blobs_decoded = 0
+
+    # -- the unified blob codec ----------------------------------------
+
+    def encode(self, store: "ShardStore") -> bytes:
+        """Shard -> colframe blob (checkpoint/migrate/replica/spill)."""
+        blob = shard_to_wire(store)
+        self.blobs_encoded += 1
+        return blob
+
+    def decode(self, blob: bytes) -> "ShardStore":
+        """Colframe blob -> live shard (restore/migrate-in/replica
+        install/rehydrate)."""
+        w = self.worker
+        self.blobs_decoded += 1
+        return shard_from_wire(w.store_cls, w.schema, blob, w.tree_config)
+
+    # -- residency tier -------------------------------------------------
+
+    def residency(self, shard_id: int) -> Optional[str]:
+        if shard_id in self.worker.shards:
+            return HOT
+        if shard_id in self.cold:
+            return WARM
+        return None
+
+    def warm_items(self) -> int:
+        return sum(e.items for e in self.cold.values())
+
+    def spill(self, shard_id: int) -> ColdEntry:
+        """HOT -> WARM: encode the shard, release the columns.
+
+        The blob doubles as the shard's checkpoint (written through to
+        the checkpoint store when one is configured), which is why the
+        periodic checkpoint pass skips WARM shards -- their blob on
+        disk *is* the checkpoint.  Frozen shards (mid-migration) never
+        spill; the transfer owns them.
+        """
+        w = self.worker
+        store = w.shards.get(shard_id)
+        if store is None:
+            raise ValueError(f"shard {shard_id} is not HOT on worker {w.worker_id}")
+        if shard_id in w.frozen:
+            raise ValueError(f"shard {shard_id} is frozen; cannot spill")
+        blob = self.encode(store)
+        entry = ColdEntry(
+            shard_id=shard_id,
+            key=store.bounding_key(),
+            items=len(store),
+            blob=blob,
+            resident_estimate=store.resident_bytes(),
+            spilled_at=w.clock.now,
+        )
+        self.cold[shard_id] = entry
+        del w.shards[shard_id]
+        if w.checkpoints is not None:
+            w.checkpoints.put(shard_id, blob, w.worker_id, w.clock.now)
+        self.spills += 1
+        self.spilled_bytes += len(blob)
+        w._publish_shard(shard_id)
+        return entry
+
+    def rehydrate(self, shard_id: int) -> Optional["ShardStore"]:
+        """WARM -> HOT: decode the blob, re-install the live tree.
+
+        Idempotent: an already-HOT shard is returned as-is; an unknown
+        shard returns ``None`` (it was dropped or migrated away between
+        plan and dispatch).  Restores served by a rehydrate do *not*
+        count as checkpoint deserializations -- the blob never left the
+        worker.
+        """
+        w = self.worker
+        entry = self.cold.pop(shard_id, None)
+        if entry is None:
+            return w.shards.get(shard_id)
+        store = self.decode(entry.blob)
+        w.shards[shard_id] = store
+        self.rehydrates += 1
+        self.rehydrated_bytes += entry.blob_bytes
+        w._last_access[shard_id] = w.clock.now
+        w._publish_shard(shard_id)
+        return store
+
+    def drop(self, shard_id: int) -> bool:
+        """Forget a WARM shard's cold entry (ownership moved away)."""
+        return self.cold.pop(shard_id, None) is not None
+
+    def clear(self) -> None:
+        """Crash: both tiers are lost (WARM blobs survive only in the
+        checkpoint store, exactly like HOT shards' periodic blobs)."""
+        self.cold.clear()

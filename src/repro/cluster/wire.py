@@ -26,6 +26,8 @@ __all__ = [
     "key_from_wire",
     "batch_to_wire",
     "batch_from_wire",
+    "shard_to_wire",
+    "shard_from_wire",
     "BoundingKey",
     "QUERY_ROW_WIRE_BYTES",
     "REPLICA_ROW_WIRE_BYTES",
@@ -60,6 +62,23 @@ def batch_to_wire(batch: RecordBatch, *, compress: bool = True) -> bytes:
 def batch_from_wire(blob: bytes) -> RecordBatch:
     """Decode wire bytes back into a record batch (v2 frame or legacy v1)."""
     return decode_batch(blob)
+
+
+def shard_to_wire(store) -> bytes:
+    """Encode a whole shard store as one colframe blob.
+
+    This is the *single* shard blob format: checkpoints, failover
+    restores, migration transfers, replica seeds, and residency spills
+    all pass through here (via :class:`repro.cluster.storage.ShardStorage`),
+    so a blob written by any path can be read by every other.
+    """
+    return store.serialize()
+
+
+def shard_from_wire(store_cls, schema, blob: bytes, config) -> object:
+    """Decode a shard blob produced by :func:`shard_to_wire` back into a
+    live shard store of ``store_cls``."""
+    return store_cls.deserialize(schema, blob, config)
 
 
 def key_to_wire(key: BoundingKey) -> tuple:

@@ -42,6 +42,7 @@ from .cost import CostModel
 from .faults import CheckpointStore
 from .lifecycle import CUTOVER, INSTALLING, TRANSFERRING
 from .simclock import SimClock
+from .storage import HOT, WARM, ShardStorage
 from .wire import (
     batch_from_wire,
     batch_to_wire,
@@ -169,9 +170,11 @@ class ShardTransfer:
         until its cut-over re-points it here)."""
         w = self.w
         w.shards[shard_id] = store
+        w._touch(shard_id)
         if publish:
             w._publish_shard(shard_id)
             self.finish(shard_id)
+        w._enforce_budget(protect={shard_id})
 
     def cutover_out(self, shard_id: int, dst: "Worker") -> Optional[ShardStore]:
         """Source-side migration cut-over: hand the insertion queue off
@@ -208,6 +211,7 @@ class ShardTransfer:
                 key_to_wire(info_key),
                 dst.worker_id,
                 len(old) if old is not None else 0,
+                HOT,  # the destination installed it hot
             ),
         )
         self.finish(shard_id)
@@ -243,6 +247,15 @@ class Worker(Entity):
         #: the one implementation of the transfer mechanics every
         #: split/migrate/restore handler goes through
         self.transfer = ShardTransfer(self)
+        #: unified blob codec plus the cold (WARM) shard index; every
+        #: shard blob -- checkpoint, restore, migrate, replica seed,
+        #: spill -- goes through it
+        self.storage = ShardStorage(self)
+        #: hot-memory budget in bytes; ``None`` disables the residency
+        #: tier (classic all-hot behaviour)
+        self.hot_budget_bytes: Optional[int] = None
+        #: shard id -> virtual time of last access (LRU spill order)
+        self._last_access: dict[int, float] = {}
         #: per-shard insertion queues, live while a split/migration runs
         self.queues: dict[int, ShardStore] = {}
         #: mapping table: old shard id -> (hyperplane, low id, high id)
@@ -321,6 +334,10 @@ class Worker(Entity):
         self._repl.clear()
         self._rstate.clear()
         self._handoffs.clear()
+        # WARM shards are lost too; their spill-time blobs survive in
+        # the checkpoint store, exactly like hot shards' periodic blobs
+        self.storage.clear()
+        self._last_access.clear()
 
     def restart(self) -> None:
         """Rejoin empty; shards come back via manager-driven restores."""
@@ -364,8 +381,13 @@ class Worker(Entity):
             and now - self._last_beat_write > self.heartbeat_ttl
         )
         self._last_beat_write = now
+        # the beat carries measured resident bytes so balancer policies
+        # plan on real memory at heartbeat freshness (stats lag behind);
+        # readers that only liveness-check the znode ignore the payload
         self.zk.set_ephemeral(
-            f"/heartbeats/{self.worker_id}", now, self.heartbeat_ttl
+            f"/heartbeats/{self.worker_id}",
+            (now, self.resident_bytes()),
+            self.heartbeat_ttl,
         )
         # piggyback replication watermarks on the liveness beat: the
         # written prefixes are unwatched, so this schedules no events
@@ -401,7 +423,13 @@ class Worker(Entity):
         self.clock.every(period, tick)
 
     def checkpoint(self) -> None:
-        """Write the latest blob of each non-frozen shard."""
+        """Write the latest blob of each non-frozen HOT shard.
+
+        WARM shards are skipped by construction -- iterating
+        ``self.shards`` never sees them -- because the blob their spill
+        wrote *is* the checkpoint: the shard cannot have changed since
+        (any insert would have rehydrated it first).
+        """
         if self.checkpoints is None:
             return
         total = 0
@@ -409,7 +437,7 @@ class Worker(Entity):
             if sid in self.frozen:
                 continue
             self.checkpoints.put(
-                sid, store.serialize(), self.worker_id, self.clock.now
+                sid, self.storage.encode(store), self.worker_id, self.clock.now
             )
             total += len(store)
         if total:
@@ -421,8 +449,10 @@ class Worker(Entity):
     def total_items(self) -> int:
         """Primary-owned items only: replicas are copies, so counting
         them would double-book the cluster's exactly-once totals."""
-        return sum(len(s) for s in self.shards.values()) + sum(
-            len(q) for q in self.queues.values()
+        return (
+            sum(len(s) for s in self.shards.values())
+            + sum(len(q) for q in self.queues.values())
+            + self.storage.warm_items()
         )
 
     def publish_stats(self) -> None:
@@ -434,11 +464,105 @@ class Worker(Entity):
             "shards": {sid: len(s) for sid, s in self.shards.items()},
             "backlog": self.pool.backlog,
         }
+        storage = self.storage
+        if storage.cold:
+            # WARM shards stay visible in "shards" (ownership and heal
+            # checks key on it) at their spilled item counts
+            for sid, entry in storage.cold.items():
+                stats["shards"][sid] = entry.items
+            stats["warm"] = {
+                sid: (e.items, e.resident_estimate)
+                for sid, e in storage.cold.items()
+            }
+        if self.hot_budget_bytes is not None or storage.cold or storage.spills:
+            now = self.clock.now
+            stats["resident_bytes"] = self.resident_bytes()
+            stats["shard_bytes"] = {
+                sid: s.resident_bytes() for sid, s in self.shards.items()
+            }
+            stats["idle"] = {
+                sid: now - self._last_access.get(sid, now)
+                for sid in self.shards
+            }
         if self.replicas:
             stats["replica_items"] = sum(
                 len(s) for s in self.replicas.values()
             )
         self.zk.set(f"/stats/workers/{self.worker_id}", stats)
+
+    # -- residency tier ---------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Measured bytes of hot column data on this worker: primary
+        shards, live insertion queues, and replica copies.  WARM shards
+        contribute nothing -- releasing their columns is the point of
+        the tier."""
+        return (
+            sum(s.resident_bytes() for s in self.shards.values())
+            + sum(q.resident_bytes() for q in self.queues.values())
+            + sum(r.resident_bytes() for r in self.replicas.values())
+        )
+
+    def _touch(self, shard_id: int) -> None:
+        """Record an access for LRU spill-victim ordering."""
+        if shard_id in self.shards:
+            self._last_access[shard_id] = self.clock.now
+
+    def _rehydrate_for_access(
+        self, shard_id: int, trigger: str = "query"
+    ) -> tuple[Optional[ShardStore], float]:
+        """Lazily pull a WARM shard back HOT because an op touched it.
+
+        Returns ``(store, modeled seconds)``; the caller adds the
+        seconds to the op's service time (rehydration is synchronous --
+        the op waits for the blob decode).  Enforces the hot budget
+        afterwards, protecting the shard just rehydrated (the ±1-shard
+        hysteresis: an op never evicts its own working set mid-flight).
+        """
+        entry = self.storage.cold.get(shard_id)
+        if entry is None:
+            return self.shards.get(shard_id), 0.0
+        obs = self.transport.obs
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "worker.rehydrate", self.name, shard=shard_id, trigger=trigger
+            )
+        store = self.storage.rehydrate(shard_id)
+        service = self.cost.rehydrate_time(entry.items)
+        if obs is not None:
+            obs.registry.histogram(
+                "volap_residency_rehydrate_seconds",
+                help="modeled latency of lazy shard rehydrates",
+            ).observe(service)
+            obs.finish_span(span, items=entry.items)
+        self._enforce_budget(protect={shard_id})
+        return store, service
+
+    def _enforce_budget(self, protect: set = frozenset()) -> int:
+        """Spill least-recently-used HOT shards until resident bytes
+        fit :attr:`hot_budget_bytes`.  ``protect`` names shards the
+        current op is touching -- they stay hot even while over budget.
+        Frozen shards belong to the transfer protocol and never spill.
+        """
+        if self.hot_budget_bytes is None or self.crashed:
+            return 0
+        spilled = 0
+        while self.resident_bytes() > self.hot_budget_bytes:
+            candidates = [
+                sid
+                for sid in self.shards
+                if sid not in self.frozen and sid not in protect
+            ]
+            if not candidates:
+                break
+            victim = min(
+                candidates, key=lambda s: (self._last_access.get(s, -1.0), s)
+            )
+            self.storage.spill(victim)
+            self._last_access.pop(victim, None)
+            spilled += 1
+        return spilled
 
     # -- shard id resolution through the mapping table -----------------------
 
@@ -495,10 +619,17 @@ class Worker(Entity):
                 "worker.apply_insert", self.name, parent=msg.ctx, op_id=op_id
             )
         sid = self._resolve_insert(shard_id, coords)
+        rehydrate_cost = 0.0
         if sid in self.frozen:
             target = self.queues[sid]
         elif sid in self.shards:
             target = self.shards[sid]
+        elif sid in self.storage.cold:
+            # WARM shard: inserts always rehydrate (the spilled blob
+            # would go stale otherwise), charged to this op's service
+            target, rehydrate_cost = self._rehydrate_for_access(
+                sid, trigger="insert"
+            )
         else:
             # Shard moved away entirely; a stale route. Reject so the
             # server can retry against its refreshed image.
@@ -521,8 +652,10 @@ class Worker(Entity):
             self._seen_ops.add(op_id)
         if sid not in self.frozen:
             self._tee(sid, [(coords, measure, op_id)])
+            self._touch(sid)
+            self._enforce_budget(protect={sid})
         self.inserts_done += 1
-        service = self.cost.insert_time(stats)
+        service = self.cost.insert_time(stats) + rehydrate_cost
 
         def ack() -> None:
             if obs is not None:
@@ -558,7 +691,11 @@ class Worker(Entity):
                 acked.append(token)
                 continue
             sid = self._resolve_insert(shard_id, coords)
-            if sid not in self.frozen and sid not in self.shards:
+            if (
+                sid not in self.frozen
+                and sid not in self.shards
+                and sid not in self.storage.cold
+            ):
                 nacked.append((token, shard_id))
                 continue
             if obs is not None:
@@ -577,20 +714,33 @@ class Worker(Entity):
             acked.append(token)
         applied = 0
         stats = OpStats()
+        rehydrate_cost = 0.0
         for sid, rows in groups.items():
             batch = RecordBatch(
                 np.array([c for c, _, _ in rows], dtype=np.int64),
                 np.array([m for _, m, _ in rows], dtype=np.float64),
             )
-            target = (
-                self.queues[sid] if sid in self.frozen else self.shards[sid]
-            )
+            if sid in self.frozen:
+                target = self.queues[sid]
+            else:
+                # look up at apply time: an earlier group's budget
+                # enforcement may have spilled this shard again
+                target = self.shards.get(sid)
+                if target is None:
+                    target, c = self._rehydrate_for_access(
+                        sid, trigger="insert"
+                    )
+                    rehydrate_cost += c
+                if target is None:  # pragma: no cover - defensive
+                    continue
             stats.merge(target.insert_batch(batch))
             if sid not in self.frozen:
                 self._tee(sid, rows)
+                self._touch(sid)
+                self._enforce_budget(protect={sid})
             applied += len(rows)
         self.inserts_done += applied
-        service = self.cost.insert_batch_time(applied, stats)
+        service = self.cost.insert_batch_time(applied, stats) + rehydrate_cost
 
         def ack() -> None:
             if obs is not None:
@@ -625,6 +775,7 @@ class Worker(Entity):
         for i in range(len(batch)):
             sid = self._resolve_insert(shard_id, batch.coords[i])
             groups.setdefault(sid, []).append(i)
+        rehydrate_cost = 0.0
         for sid, rows in groups.items():
             sub = batch.take(np.array(rows))
             target = (
@@ -632,6 +783,9 @@ class Worker(Entity):
                 if sid in self.frozen
                 else self.shards.get(sid)
             )
+            if target is None and sid in self.storage.cold:
+                target, c = self._rehydrate_for_access(sid, trigger="insert")
+                rehydrate_cost += c
             if target is None:
                 continue
             self._bulk_into(sid, target, sub, frozen=sid in self.frozen)
@@ -640,8 +794,11 @@ class Worker(Entity):
                 # bulk rows carry no idempotency token (the batch-level
                 # token cannot dedup row-by-row on a promoted replica)
                 self._tee(sid, [(c, m, None) for c, m in sub.iter_rows()])
+            if sid not in self.frozen:
+                self._touch(sid)
+                self._enforce_budget(protect={sid})
         self.inserts_done += len(batch)
-        service = self.cost.bulk_time(len(batch))
+        service = self.cost.bulk_time(len(batch)) + rehydrate_cost
         self._submit(
             service,
             lambda: self.transport.send(
@@ -678,16 +835,34 @@ class Worker(Entity):
         total_stats = OpStats()
         searched = 0
         missing = 0
+        rehydrate_cost = 0.0
         for requested in shard_ids:
             hit = False
             for sid in self._resolve_query(requested):
                 store = self.shards.get(sid)
                 if store is None:
-                    # bounded-staleness read routed here by the server:
-                    # serve from the replica copy
-                    store = self.replicas.get(sid)
-                    if store is not None:
-                        self.replica_queries += 1
+                    entry = self.storage.cold.get(sid)
+                    if entry is not None:
+                        if entry.intersects(box):
+                            store, c = self._rehydrate_for_access(
+                                sid, trigger="query"
+                            )
+                            rehydrate_cost += c
+                        else:
+                            # layer-map pruning: the WARM shard's
+                            # bounding key misses the box, so it
+                            # contributes the empty aggregate without
+                            # the blob ever being read
+                            searched += 1
+                            hit = True
+                    else:
+                        # bounded-staleness read routed here by the
+                        # server: serve from the replica copy
+                        store = self.replicas.get(sid)
+                        if store is not None:
+                            self.replica_queries += 1
+                else:
+                    self._touch(sid)
                 if store is not None:
                     tspan = None
                     if obs is not None:
@@ -719,7 +894,7 @@ class Worker(Entity):
                 # pending): report the gap so coverage stays honest
                 missing += 1
         self.queries_done += 1
-        service = self.cost.query_time(total_stats)
+        service = self.cost.query_time(total_stats) + rehydrate_cost
 
         def reply() -> None:
             if obs is not None:
@@ -783,6 +958,15 @@ class Worker(Entity):
                         order.append((sid, 0))
                         searched[e] += 1
                         hit = True
+                    elif sid in self.storage.cold:
+                        searched[e] += 1
+                        hit = True
+                        # layer-map pruning per entry: only boxes that
+                        # touch the WARM shard's bounding key get a
+                        # slot (a pruned entry's contribution is the
+                        # empty aggregate -- the merge identity)
+                        if self.storage.cold[sid].intersects(boxes[e]):
+                            order.append((sid, 0))
                     elif sid in self.replicas:
                         order.append((sid, 2))
                         searched[e] += 1
@@ -799,14 +983,27 @@ class Worker(Entity):
                 groups.setdefault(gkey, []).append((e, pos))
         results: dict[tuple[int, int], Aggregate] = {}
         total_stats = OpStats()
+        rehydrate_cost = 0.0
         for (sid, source), members in groups.items():
-            store = (
-                self.shards[sid]
-                if source == 0
-                else self.queues[sid]
-                if source == 1
-                else self.replicas[sid]
-            )
+            if source == 0:
+                # look up at execution time: an earlier group's budget
+                # enforcement may have spilled this shard, and a WARM
+                # shard with a slot needs rehydrating now
+                store = self.shards.get(sid)
+                if store is None:
+                    store, c = self._rehydrate_for_access(
+                        sid, trigger="query"
+                    )
+                    rehydrate_cost += c
+                if store is None:  # pragma: no cover - defensive
+                    for e, pos in members:
+                        results[(e, pos)] = Aggregate.empty()
+                    continue
+                self._touch(sid)
+            elif source == 1:
+                store = self.queues[sid]
+            else:
+                store = self.replicas[sid]
             group_stats = OpStats()
             res = store.query_batch([boxes[e] for e, _ in members])
             for (e, pos), (sub, stats) in zip(members, res):
@@ -824,7 +1021,10 @@ class Worker(Entity):
                 agg.merge(results[(e, pos)])
             replies.append((token, agg.to_tuple(), searched[e], missing[e]))
         self.queries_done += len(entries)
-        service = self.cost.query_batch_time(len(entries), total_stats)
+        service = (
+            self.cost.query_batch_time(len(entries), total_stats)
+            + rehydrate_cost
+        )
 
         def reply() -> None:
             if obs is not None:
@@ -902,7 +1102,7 @@ class Worker(Entity):
                 Message("migrate_failed", (shard_id, self.worker_id), sender=self),
             )
             return
-        blob = store.serialize()
+        blob = self.storage.encode(store)
         service = self.cost.serialize_time(len(store))
 
         def send_blob() -> None:
@@ -928,7 +1128,7 @@ class Worker(Entity):
 
     def _on_migrate_in(self, msg: Message) -> None:
         shard_id, blob, src, reply_to = msg.payload
-        store = self.store_cls.deserialize(self.schema, blob, self.tree_config)
+        store = self.storage.decode(blob)
         self.transfer.announce(shard_id, INSTALLING)
         service = self.cost.deserialize_time(len(store))
 
@@ -974,6 +1174,7 @@ class Worker(Entity):
         shard_id = msg.payload[0]
         if shard_id not in self.frozen:
             self.shards.pop(shard_id, None)
+            self.storage.drop(shard_id)
             self.transfer.finish(shard_id)
 
     # -- failover restore ------------------------------------------------------
@@ -989,9 +1190,7 @@ class Worker(Entity):
         if blob is None:
             store = self.store_cls(self.schema, self.tree_config)
         else:
-            store = self.store_cls.deserialize(
-                self.schema, blob, self.tree_config
-            )
+            store = self.storage.decode(blob)
             self.checkpoint_deserializations += 1
         # a restore target never also holds a replica of the shard (the
         # manager prefers promotion then), but a stale copy from an
@@ -1017,6 +1216,92 @@ class Worker(Entity):
             )
 
         self._submit(service, ready)
+
+    # -- residency: manager-driven spill / rehydrate ---------------------------
+
+    def _on_spill_shard(self, msg: Message) -> None:
+        """Policy-driven spill: HOT -> WARM, releasing the columns.
+
+        Idempotent: an already-WARM shard re-acks (a duplicated or
+        retransmitted request changes nothing); absent or frozen shards
+        fail so the manager retires the op and replans.
+        """
+        shard_id, reply_to = msg.payload
+        if shard_id in self.storage.cold:
+            self.transport.send(
+                reply_to,
+                Message("spill_done", (shard_id, self.worker_id), sender=self),
+            )
+            return
+        store = self.shards.get(shard_id)
+        if store is None or shard_id in self.frozen:
+            self.transport.send(
+                reply_to,
+                Message("spill_failed", (shard_id, self.worker_id), sender=self),
+            )
+            return
+        obs = self.transport.obs
+        span = None
+        if obs is not None:
+            span = obs.start_span(
+                "worker.spill", self.name, parent=msg.ctx, shard=shard_id
+            )
+        service = self.cost.spill_time(len(store))
+
+        def finish() -> None:
+            # re-check: a migration may have frozen the shard, or an op
+            # may have moved it, while the encode was in flight
+            if shard_id in self.shards and shard_id not in self.frozen:
+                self.storage.spill(shard_id)
+                self._last_access.pop(shard_id, None)
+                ok = True
+            else:
+                ok = shard_id in self.storage.cold
+            if obs is not None:
+                obs.finish_span(span, ok=ok)
+            kind = "spill_done" if ok else "spill_failed"
+            self.transport.send(
+                reply_to,
+                Message(kind, (shard_id, self.worker_id), sender=self),
+            )
+
+        self._submit(service, finish)
+
+    def _on_rehydrate_shard(self, msg: Message) -> None:
+        """Policy-driven rehydrate: pull a WARM shard HOT ahead of
+        demand (the balancer found headroom).  Idempotent like spill."""
+        shard_id, reply_to = msg.payload
+        if shard_id in self.shards:
+            self.transport.send(
+                reply_to,
+                Message(
+                    "rehydrate_done",
+                    (shard_id, self.worker_id, len(self.shards[shard_id])),
+                    sender=self,
+                ),
+            )
+            return
+        entry = self.storage.cold.get(shard_id)
+        if entry is None:
+            self.transport.send(
+                reply_to,
+                Message(
+                    "rehydrate_failed", (shard_id, self.worker_id), sender=self
+                ),
+            )
+            return
+        _store, service = self._rehydrate_for_access(shard_id, trigger="policy")
+        self._submit(
+            service,
+            lambda: self.transport.send(
+                reply_to,
+                Message(
+                    "rehydrate_done",
+                    (shard_id, self.worker_id, entry.items),
+                    sender=self,
+                ),
+            ),
+        )
 
     # -- replication: primary side ---------------------------------------------
 
@@ -1130,7 +1415,7 @@ class Worker(Entity):
         # the snapshot covers everything up to ``head``; rows applied
         # while it serializes stream (and retransmit) their way over
         st["peers"][dst_wid] = {"entity": dst, "acked": head}
-        blob = store.serialize()
+        blob = self.storage.encode(store)
         service = self.cost.serialize_time(len(store))
 
         def send_blob() -> None:
@@ -1234,7 +1519,7 @@ class Worker(Entity):
             return  # a stale (pre-promotion) seed arrived late
         if shard_id in self.shards:
             return  # we were promoted while the blob was in flight
-        store = self.store_cls.deserialize(self.schema, blob, self.tree_config)
+        store = self.storage.decode(blob)
         self.replica_seeds += 1
         service = self.cost.deserialize_time(len(store))
 
@@ -1427,6 +1712,16 @@ class Worker(Entity):
             if data is None or data[2] == self.worker_id:
                 continue
             self._demote(sid, data[2])
+        for sid in sorted(self.storage.cold):
+            # WARM copies re-homed while we were away: the cold entry
+            # is stale (its data was restored elsewhere from the
+            # checkpoint blob), so just forget it -- a spilled shard
+            # has no unacknowledged stream suffix to hand off
+            data = self.zk.get(f"/shards/{sid}")
+            if data is None or data[2] == self.worker_id:
+                continue
+            self.storage.drop(sid)
+            self._repl.pop(sid, None)
 
     def _demote(self, shard_id: int, new_owner: int) -> None:
         """Drop primariness of ``shard_id`` in favour of ``new_owner``,
@@ -1497,18 +1792,20 @@ class Worker(Entity):
     # -- zookeeper helpers -----------------------------------------------------
 
     def _publish_shard(self, shard_id: int) -> None:
-        store = self.shards[shard_id]
+        entry = self.storage.cold.get(shard_id)
+        if entry is not None:
+            key, size, residency = entry.key, entry.items, WARM
+        else:
+            store = self.shards[shard_id]
+            key, size, residency = store.bounding_key(), len(store), HOT
         self.zk.set(
             f"/shards/{shard_id}",
-            (
-                shard_id,
-                key_to_wire(store.bounding_key()),
-                self.worker_id,
-                len(store),
-            ),
+            (shard_id, key_to_wire(key), self.worker_id, size, residency),
         )
 
     def install_shard(self, shard_id: int, store: ShardStore) -> None:
         """Bootstrap helper: place a pre-built shard on this worker."""
         self.shards[shard_id] = store
         self._publish_shard(shard_id)
+        self._touch(shard_id)
+        self._enforce_budget(protect={shard_id})

@@ -1,6 +1,7 @@
 """Workloads: TPC-DS-like data, coverage-binned queries, mixed streams."""
 
 from .querygen import PAPER_BINS, CoverageBins, QueryGenerator
+from .sensors import SensorStreamGenerator, sensor_schema
 from .streams import Operation, StreamGenerator
 from .tpcds import TPCDSGenerator, synthetic_schema, tpcds_schema
 
@@ -9,8 +10,10 @@ __all__ = [
     "CoverageBins",
     "Operation",
     "QueryGenerator",
+    "SensorStreamGenerator",
     "StreamGenerator",
     "TPCDSGenerator",
+    "sensor_schema",
     "synthetic_schema",
     "tpcds_schema",
 ]

@@ -83,6 +83,8 @@ def test_busy_shard_rejects_second_op():
         "restore": 0,
         "replicate": 0,
         "promote": 0,
+        "spill": 0,
+        "rehydrate": 0,
     }
 
 
@@ -353,9 +355,13 @@ def assert_lifecycle_invariants(cluster):
     assert lc.balance_inflight == sum(k in ("split", "migrate") for k in kinds)
     assert lc.restore_inflight == sum(k in ("restore", "promote") for k in kinds)
     assert lc.replica_inflight == sum(k == "replicate" for k in kinds)
+    assert lc.residency_inflight == sum(
+        k in ("spill", "rehydrate") for k in kinds
+    )
     assert 0 <= lc.balance_inflight <= lc.max_inflight
     assert 0 <= lc.restore_inflight <= lc.max_inflight_restores
     assert 0 <= lc.replica_inflight <= lc.max_inflight_replications
+    assert 0 <= lc.residency_inflight <= lc.max_inflight_residency
     # 3. mapping chains stay acyclic and resolve to known shard ids
     known = set()
     for w in cluster.workers.values():
